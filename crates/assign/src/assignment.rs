@@ -1,0 +1,318 @@
+//! Assignment state: per-customer server choice, maintained loads, badness,
+//! stability verifiers (exact and k-bounded), and the semi-matching cost.
+
+use crate::instance::AssignmentInstance;
+
+/// Sentinel for "customer not assigned yet".
+const UNASSIGNED: u32 = u32::MAX;
+
+/// A (partial) assignment of customers to servers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Assignment {
+    choice: Vec<u32>,
+    load: Vec<u32>,
+}
+
+/// Witness that an assignment is not (k-bounded) stable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Instability {
+    /// A customer is unassigned.
+    Unassigned(usize),
+    /// A customer could strictly improve by switching.
+    Unhappy {
+        /// The unhappy customer.
+        customer: usize,
+        /// Its current server.
+        server: u32,
+        /// A strictly better server it could switch to.
+        better: u32,
+    },
+}
+
+impl std::fmt::Display for Instability {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Instability::Unassigned(c) => write!(f, "customer {c} unassigned"),
+            Instability::Unhappy {
+                customer,
+                server,
+                better,
+            } => write!(
+                f,
+                "customer {customer} on server {server} should switch to {better}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for Instability {}
+
+impl Assignment {
+    /// A fully unassigned state.
+    pub fn unassigned(inst: &AssignmentInstance) -> Self {
+        Assignment {
+            choice: vec![UNASSIGNED; inst.num_customers()],
+            load: vec![0; inst.num_servers()],
+        }
+    }
+
+    /// Every customer greedily takes its smallest-id server (an
+    /// adversarially bad complete assignment for baselines).
+    pub fn first_choice(inst: &AssignmentInstance) -> Self {
+        let mut a = Assignment::unassigned(inst);
+        for c in 0..inst.num_customers() {
+            a.assign(c, inst.servers_of(c)[0]);
+        }
+        a
+    }
+
+    /// The server of customer `c`, if assigned.
+    #[inline(always)]
+    pub fn server_of(&self, c: usize) -> Option<u32> {
+        let s = self.choice[c];
+        (s != UNASSIGNED).then_some(s)
+    }
+
+    /// Load of server `s` (number of customers assigned to it).
+    #[inline(always)]
+    pub fn load(&self, s: u32) -> u32 {
+        self.load[s as usize]
+    }
+
+    /// All server loads.
+    pub fn loads(&self) -> &[u32] {
+        &self.load
+    }
+
+    /// True if every customer is assigned.
+    pub fn fully_assigned(&self) -> bool {
+        self.choice.iter().all(|&s| s != UNASSIGNED)
+    }
+
+    /// Number of customers still unassigned.
+    pub fn unassigned_count(&self) -> usize {
+        self.choice.iter().filter(|&&s| s == UNASSIGNED).count()
+    }
+
+    /// Assigns customer `c` to server `s` (must be currently unassigned).
+    pub fn assign(&mut self, c: usize, s: u32) {
+        assert_eq!(self.choice[c], UNASSIGNED, "customer {c} already assigned");
+        self.choice[c] = s;
+        self.load[s as usize] += 1;
+    }
+
+    /// Moves customer `c` from its current server to `s`.
+    pub fn reassign(&mut self, c: usize, s: u32) {
+        let old = self.choice[c];
+        assert_ne!(old, UNASSIGNED, "customer {c} not assigned yet");
+        self.load[old as usize] -= 1;
+        self.choice[c] = s;
+        self.load[s as usize] += 1;
+    }
+
+    /// Badness of an assigned customer (paper Section 7.2): load of its
+    /// server minus the minimum load among its *other* adjacent servers.
+    /// Degree-1 customers have badness 0 by convention (no alternative).
+    /// `None` if unassigned.
+    pub fn badness(&self, inst: &AssignmentInstance, c: usize) -> Option<i64> {
+        let s = self.server_of(c)?;
+        let min_other = inst
+            .servers_of(c)
+            .iter()
+            .filter(|&&t| t != s)
+            .map(|&t| self.load(t))
+            .min();
+        Some(match min_other {
+            None => 0,
+            Some(m) => self.load(s) as i64 - m as i64,
+        })
+    }
+
+    /// k-bounded badness: as [`Assignment::badness`] but on *effective*
+    /// loads `min(load, k)` (Section 7.3).
+    pub fn effective_badness(&self, inst: &AssignmentInstance, c: usize, k: u32) -> Option<i64> {
+        let s = self.server_of(c)?;
+        let eff = |t: u32| self.load(t).min(k);
+        let min_other = inst
+            .servers_of(c)
+            .iter()
+            .filter(|&&t| t != s)
+            .map(|&t| eff(t))
+            .min();
+        Some(match min_other {
+            None => 0,
+            Some(m) => eff(s) as i64 - m as i64,
+        })
+    }
+
+    /// Verifies exact stability: every customer assigned, and no customer
+    /// has an adjacent server with load ≤ its own server's load − 2.
+    pub fn verify_stable(&self, inst: &AssignmentInstance) -> Result<(), Instability> {
+        self.verify_internal(inst, None)
+    }
+
+    /// Verifies k-bounded stability (Section 7.3): a customer on a server
+    /// with load ℓ is unhappy iff some adjacent server has load at most
+    /// `min(k, ℓ) − 2`.
+    pub fn verify_k_bounded(&self, inst: &AssignmentInstance, k: u32) -> Result<(), Instability> {
+        self.verify_internal(inst, Some(k))
+    }
+
+    fn verify_internal(
+        &self,
+        inst: &AssignmentInstance,
+        k: Option<u32>,
+    ) -> Result<(), Instability> {
+        // Recompute loads from scratch; do not trust the maintained array.
+        let mut load = vec![0u32; inst.num_servers()];
+        for c in 0..inst.num_customers() {
+            match self.server_of(c) {
+                None => return Err(Instability::Unassigned(c)),
+                Some(s) => load[s as usize] += 1,
+            }
+        }
+        debug_assert_eq!(load, self.load, "maintained loads diverged");
+        for c in 0..inst.num_customers() {
+            let s = self.server_of(c).unwrap();
+            let ls = load[s as usize] as i64;
+            let threshold = match k {
+                None => ls - 2,
+                Some(k) => (k as i64).min(ls) - 2,
+            };
+            for &t in inst.servers_of(c) {
+                if t != s && (load[t as usize] as i64) <= threshold {
+                    return Err(Instability::Unhappy {
+                        customer: c,
+                        server: s,
+                        better: t,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The semi-matching cost Σ_s f(load(s)) with f(x) = 1 + 2 + … + x =
+    /// x(x+1)/2 \[HLLT06\]: total waiting time if each server serves its
+    /// customers sequentially.
+    pub fn cost(&self) -> u64 {
+        self.load
+            .iter()
+            .map(|&l| (l as u64) * (l as u64 + 1) / 2)
+            .sum()
+    }
+
+    /// Σ load² — the potential used by flip arguments.
+    pub fn potential(&self) -> u64 {
+        self.load.iter().map(|&l| (l as u64) * (l as u64)).sum()
+    }
+
+    /// Maximum server load.
+    pub fn max_load(&self) -> u32 {
+        self.load.iter().copied().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_servers() -> AssignmentInstance {
+        // 3 customers all adjacent to both servers.
+        AssignmentInstance::new(2, &[vec![0, 1], vec![0, 1], vec![0, 1]])
+    }
+
+    #[test]
+    fn assign_reassign_loads() {
+        let inst = two_servers();
+        let mut a = Assignment::unassigned(&inst);
+        assert_eq!(a.unassigned_count(), 3);
+        a.assign(0, 0);
+        a.assign(1, 0);
+        a.assign(2, 1);
+        assert_eq!(a.load(0), 2);
+        assert_eq!(a.load(1), 1);
+        assert!(a.fully_assigned());
+        a.reassign(1, 1);
+        assert_eq!(a.load(0), 1);
+        assert_eq!(a.load(1), 2);
+    }
+
+    #[test]
+    fn stability_2_1_split() {
+        let inst = two_servers();
+        let mut a = Assignment::unassigned(&inst);
+        a.assign(0, 0);
+        a.assign(1, 0);
+        a.assign(2, 1);
+        // Loads (2, 1): badness of customers on server 0 is 1 -> happy.
+        a.verify_stable(&inst).unwrap();
+        assert_eq!(a.badness(&inst, 0), Some(1));
+        assert_eq!(a.cost(), 3 + 1);
+    }
+
+    #[test]
+    fn instability_3_0_split() {
+        let inst = two_servers();
+        let mut a = Assignment::unassigned(&inst);
+        a.assign(0, 0);
+        a.assign(1, 0);
+        a.assign(2, 0);
+        assert_eq!(
+            a.verify_stable(&inst),
+            Err(Instability::Unhappy {
+                customer: 0,
+                server: 0,
+                better: 1
+            })
+        );
+        assert_eq!(a.badness(&inst, 0), Some(3));
+    }
+
+    #[test]
+    fn k_bounded_is_weaker() {
+        // Loads (3, 1): exact badness 2 (unstable), but 2-bounded effective
+        // loads are (2, 1): effective badness 1 -> 2-bounded stable.
+        let inst =
+            AssignmentInstance::new(2, &[vec![0, 1], vec![0, 1], vec![0, 1], vec![0, 1]]);
+        let mut a = Assignment::unassigned(&inst);
+        a.assign(0, 0);
+        a.assign(1, 0);
+        a.assign(2, 0);
+        a.assign(3, 1);
+        assert!(a.verify_stable(&inst).is_err());
+        a.verify_k_bounded(&inst, 2).unwrap();
+        assert_eq!(a.effective_badness(&inst, 0, 2), Some(1));
+        // With load (4, 0) even 2-bounded fails.
+        a.reassign(3, 0);
+        assert!(a.verify_k_bounded(&inst, 2).is_err());
+    }
+
+    #[test]
+    fn degree_one_customers_always_happy() {
+        let inst = AssignmentInstance::new(1, &[vec![0], vec![0], vec![0]]);
+        let a = Assignment::first_choice(&inst);
+        a.verify_stable(&inst).unwrap();
+        assert_eq!(a.badness(&inst, 0), Some(0));
+        assert_eq!(a.max_load(), 3);
+    }
+
+    #[test]
+    fn unassigned_detected() {
+        let inst = two_servers();
+        let a = Assignment::unassigned(&inst);
+        assert_eq!(a.verify_stable(&inst), Err(Instability::Unassigned(0)));
+        assert_eq!(a.badness(&inst, 0), None);
+    }
+
+    #[test]
+    fn cost_formula() {
+        let inst = AssignmentInstance::new(2, &vec![vec![0, 1]; 5]);
+        let mut a = Assignment::unassigned(&inst);
+        for c in 0..5 {
+            a.assign(c, 0);
+        }
+        assert_eq!(a.cost(), 15); // 1+2+3+4+5
+        assert_eq!(a.potential(), 25);
+    }
+}

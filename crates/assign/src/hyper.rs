@@ -1,0 +1,565 @@
+//! The hypergraph token dropping game (Section 7.1).
+//!
+//! Nodes (servers) sit on levels and hold at most one token; *hyperedges*
+//! (customers) have a designated **head**, and the level function satisfies
+//! `level(head) = min{level(other members)} + 1`. The head of a hyperedge
+//! may pass its token to one *child* (a member at `level(head) − 1`), which
+//! consumes the entire hyperedge. Rules (1) hyperedge-disjoint traversals,
+//! (2) unique destinations, and (3) maximal traversals carry over verbatim.
+//!
+//! Two solvers are provided:
+//! * [`run_proposal`] — the generalized proposal algorithm (Theorem 7.1:
+//!   O(L·S²) rounds, where S bounds how many hyperedges contain a node);
+//! * [`run_three_level`] — the specialised driver for games with levels
+//!   ⊆ {0, 1, 2} used by the 2-bounded assignment algorithm (Theorem 7.5:
+//!   O(S) rounds).
+//!
+//! Both are lockstep engines (the rank-2 message-passing reference lives in
+//! `td-core`; DESIGN.md records this scoping decision). Rounds are counted
+//! until the first round in which no token can move — with current
+//! occupancy knowledge, a moveless round is a global fixpoint.
+
+use std::collections::HashSet;
+
+/// One hyperedge: its members (sorted, includes the head) and the head.
+#[derive(Clone, Debug)]
+pub struct HyperEdge {
+    /// The head node (the oriented-toward server).
+    pub head: u32,
+    /// All member nodes, sorted; contains `head`.
+    pub members: Vec<u32>,
+}
+
+/// A hypergraph token dropping instance.
+#[derive(Clone, Debug)]
+pub struct HyperGame {
+    level: Vec<u32>,
+    token: Vec<bool>,
+    edges: Vec<HyperEdge>,
+    /// Incident hyperedge ids per node.
+    node_edges: Vec<Vec<u32>>,
+}
+
+/// Validation errors for hypergraph games.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HyperGameError {
+    /// `token.len() != level.len()`.
+    LengthMismatch,
+    /// A hyperedge's head is not among its members, or it has fewer than 2
+    /// members.
+    MalformedEdge(usize),
+    /// A hyperedge violates `level(head) = min(level(others)) + 1`.
+    BadLevels(usize),
+}
+
+impl std::fmt::Display for HyperGameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HyperGameError::LengthMismatch => write!(f, "level/token length mismatch"),
+            HyperGameError::MalformedEdge(e) => write!(f, "hyperedge {e} malformed"),
+            HyperGameError::BadLevels(e) => write!(f, "hyperedge {e} violates level rule"),
+        }
+    }
+}
+
+impl std::error::Error for HyperGameError {}
+
+impl HyperGame {
+    /// Builds and validates an instance.
+    pub fn new(
+        level: Vec<u32>,
+        token: Vec<bool>,
+        edges: Vec<HyperEdge>,
+    ) -> Result<Self, HyperGameError> {
+        if level.len() != token.len() {
+            return Err(HyperGameError::LengthMismatch);
+        }
+        for (i, e) in edges.iter().enumerate() {
+            if e.members.len() < 2 || !e.members.contains(&e.head) {
+                return Err(HyperGameError::MalformedEdge(i));
+            }
+            if e.members.iter().any(|&m| m as usize >= level.len()) {
+                return Err(HyperGameError::MalformedEdge(i));
+            }
+            let min_other = e
+                .members
+                .iter()
+                .filter(|&&m| m != e.head)
+                .map(|&m| level[m as usize])
+                .min()
+                .unwrap();
+            if level[e.head as usize] != min_other + 1 {
+                return Err(HyperGameError::BadLevels(i));
+            }
+        }
+        let mut node_edges = vec![Vec::new(); level.len()];
+        for (i, e) in edges.iter().enumerate() {
+            for &m in &e.members {
+                node_edges[m as usize].push(i as u32);
+            }
+        }
+        Ok(HyperGame {
+            level,
+            token,
+            edges,
+            node_edges,
+        })
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.level.len()
+    }
+
+    /// Number of hyperedges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Level of node `v`.
+    pub fn level(&self, v: u32) -> u32 {
+        self.level[v as usize]
+    }
+
+    /// Height of the game (max level).
+    pub fn height(&self) -> u32 {
+        self.level.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Initial token placement.
+    pub fn has_token(&self, v: u32) -> bool {
+        self.token[v as usize]
+    }
+
+    /// Number of tokens.
+    pub fn token_count(&self) -> usize {
+        self.token.iter().filter(|&&t| t).count()
+    }
+
+    /// The hyperedge with id `e`.
+    pub fn edge(&self, e: u32) -> &HyperEdge {
+        &self.edges[e as usize]
+    }
+
+    /// The children of hyperedge `e`: members at `level(head) − 1`.
+    pub fn children_of(&self, e: u32) -> impl Iterator<Item = u32> + '_ {
+        let edge = &self.edges[e as usize];
+        let want = self.level[edge.head as usize] - 1;
+        edge.members
+            .iter()
+            .copied()
+            .filter(move |&m| m != edge.head && self.level[m as usize] == want)
+    }
+
+    /// Hyperedges incident to node `v`.
+    pub fn edges_of(&self, v: u32) -> &[u32] {
+        &self.node_edges[v as usize]
+    }
+}
+
+/// One token move: in `round`, the token at `from` (head of `edge`) moved
+/// to `to`, consuming `edge`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HyperMove {
+    /// Round index.
+    pub round: u32,
+    /// Source node (the hyperedge's head).
+    pub from: u32,
+    /// Destination node (a child of the hyperedge).
+    pub to: u32,
+    /// The consumed hyperedge.
+    pub edge: u32,
+}
+
+/// The result of a hypergraph token dropping run.
+#[derive(Clone, Debug)]
+pub struct HyperResult {
+    /// All moves, sorted by round.
+    pub moves: Vec<HyperMove>,
+    /// Rounds until the game was stuck.
+    pub rounds: u32,
+    /// Final token positions.
+    pub final_tokens: Vec<bool>,
+}
+
+/// Runs the generalized proposal algorithm (Theorem 7.1): every round, each
+/// unoccupied node requests from the smallest `(head, edge)` pair among
+/// occupied heads of unconsumed hyperedges in which it is a child, and each
+/// occupied node passes its token to its smallest requesting `(child, edge)`
+/// pair.
+pub fn run_proposal(game: &HyperGame) -> HyperResult {
+    run_engine(game, false)
+}
+
+/// Runs the 3-level driver (used by Theorem 7.5): identical move rule, but
+/// restricted to games of height ≤ 2 where the analysis gives O(S) rounds.
+///
+/// # Panics
+/// If the game has height > 2.
+pub fn run_three_level(game: &HyperGame) -> HyperResult {
+    assert!(game.height() <= 2, "3-level driver needs levels ⊆ {{0,1,2}}");
+    run_engine(game, true)
+}
+
+fn run_engine(game: &HyperGame, three_level: bool) -> HyperResult {
+    let n = game.num_nodes();
+    let mut occupied: Vec<bool> = (0..n as u32).map(|v| game.has_token(v)).collect();
+    let mut consumed: Vec<bool> = vec![false; game.num_edges()];
+    let mut moves: Vec<HyperMove> = Vec::new();
+    let mut rounds: u32 = 0;
+    // Liveness cap: Theorem 7.1 gives O(L·S²); in lockstep every round
+    // performs at least one move, so #rounds <= #hyperedges. Cap generously.
+    let max_rounds = game.num_edges() as u32 + 4;
+
+    // pick[v]: best (child, edge) request at occupied node v this round.
+    let mut pick: Vec<(u32, u32)> = vec![(u32::MAX, u32::MAX); n];
+
+    loop {
+        assert!(rounds <= max_rounds, "hyper engine exceeded round cap");
+
+        // Requests by unoccupied nodes.
+        for u in 0..n as u32 {
+            if occupied[u as usize] {
+                continue;
+            }
+            let lu = game.level(u);
+            let mut best: Option<(u32, u32)> = None; // (head, edge)
+            for &e in game.edges_of(u) {
+                if consumed[e as usize] {
+                    continue;
+                }
+                let head = game.edge(e).head;
+                if head == u || !occupied[head as usize] {
+                    continue;
+                }
+                if game.level(head) != lu + 1 {
+                    continue;
+                }
+                if best.is_none_or(|(bh, be)| (head, e) < (bh, be)) {
+                    best = Some((head, e));
+                }
+            }
+            if let Some((head, e)) = best {
+                let slot = &mut pick[head as usize];
+                if (u, e) < *slot {
+                    *slot = (u, e);
+                }
+            }
+        }
+
+        // Grants (simultaneous; sources occupied, targets unoccupied, and the
+        // two sets are disjoint by construction).
+        let mut any = false;
+        let mut batch: Vec<HyperMove> = Vec::new();
+        for v in 0..n as u32 {
+            let (child, e) = pick[v as usize];
+            pick[v as usize] = (u32::MAX, u32::MAX);
+            if child == u32::MAX {
+                continue;
+            }
+            batch.push(HyperMove {
+                round: rounds,
+                from: v,
+                to: child,
+                edge: e,
+            });
+            any = true;
+        }
+        for m in &batch {
+            debug_assert!(occupied[m.from as usize] && !occupied[m.to as usize]);
+            debug_assert!(!consumed[m.edge as usize]);
+            occupied[m.from as usize] = false;
+            occupied[m.to as usize] = true;
+            consumed[m.edge as usize] = true;
+        }
+        moves.extend(batch);
+
+        if !any {
+            break;
+        }
+        rounds += 1;
+    }
+    let _ = three_level; // same move rule; the split exists for round-bound asserts
+    HyperResult {
+        moves,
+        rounds,
+        final_tokens: occupied,
+    }
+}
+
+/// A violation of the hypergraph game's output rules.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HyperViolation {
+    /// A move starts at a node without a token at that time.
+    SourceEmpty(u32),
+    /// A move lands on an occupied node.
+    TargetOccupied(u32),
+    /// A move does not follow a head-to-child step of its hyperedge.
+    IllegalStep(u32),
+    /// A hyperedge is consumed twice.
+    EdgeReused(u32),
+    /// Rule (3): a stuck token could still move.
+    NotMaximal {
+        /// The stuck token's node.
+        node: u32,
+        /// The hyperedge it could still use.
+        edge: u32,
+    },
+}
+
+impl std::fmt::Display for HyperViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HyperViolation::SourceEmpty(v) => write!(f, "move from empty node {v}"),
+            HyperViolation::TargetOccupied(v) => write!(f, "move into occupied node {v}"),
+            HyperViolation::IllegalStep(e) => write!(f, "illegal step via hyperedge {e}"),
+            HyperViolation::EdgeReused(e) => write!(f, "hyperedge {e} reused"),
+            HyperViolation::NotMaximal { node, edge } => {
+                write!(f, "token at {node} could still use hyperedge {edge}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HyperViolation {}
+
+/// Replays `moves` against the instance and checks all rules, including
+/// maximality of the final configuration.
+pub fn verify_hyper(game: &HyperGame, moves: &[HyperMove]) -> Result<(), HyperViolation> {
+    let n = game.num_nodes();
+    let mut occupied: Vec<bool> = (0..n as u32).map(|v| game.has_token(v)).collect();
+    let mut consumed: HashSet<u32> = HashSet::new();
+
+    let mut i = 0;
+    while i < moves.len() {
+        let r = moves[i].round;
+        let mut j = i;
+        while j < moves.len() && moves[j].round == r {
+            j += 1;
+        }
+        let batch = &moves[i..j];
+        for m in batch {
+            if !occupied[m.from as usize] {
+                return Err(HyperViolation::SourceEmpty(m.from));
+            }
+            if occupied[m.to as usize] {
+                return Err(HyperViolation::TargetOccupied(m.to));
+            }
+            let e = game.edge(m.edge);
+            if e.head != m.from || !game.children_of(m.edge).any(|c| c == m.to) {
+                return Err(HyperViolation::IllegalStep(m.edge));
+            }
+            if !consumed.insert(m.edge) {
+                return Err(HyperViolation::EdgeReused(m.edge));
+            }
+        }
+        for m in batch {
+            occupied[m.from as usize] = false;
+            occupied[m.to as usize] = true;
+        }
+        i = j;
+    }
+
+    // Maximality: no occupied node may have an unconsumed hyperedge (as
+    // head) with an unoccupied child.
+    for v in 0..n as u32 {
+        if !occupied[v as usize] {
+            continue;
+        }
+        for &e in game.edges_of(v) {
+            if consumed.contains(&e) || game.edge(e).head != v {
+                continue;
+            }
+            if game.children_of(e).any(|c| !occupied[c as usize]) {
+                return Err(HyperViolation::NotMaximal { node: v, edge: e });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edge(head: u32, members: &[u32]) -> HyperEdge {
+        let mut m = members.to_vec();
+        m.sort_unstable();
+        HyperEdge { head, members: m }
+    }
+
+    #[test]
+    fn validation_rules() {
+        // Head not a member.
+        let err = HyperGame::new(vec![1, 0], vec![false; 2], vec![edge(5, &[0, 1])]);
+        assert!(matches!(err, Err(HyperGameError::MalformedEdge(0))));
+        // Rank 1.
+        let err = HyperGame::new(vec![1, 0], vec![false; 2], vec![edge(0, &[0])]);
+        assert!(matches!(err, Err(HyperGameError::MalformedEdge(0))));
+        // Level rule: head must be min(others) + 1.
+        let err = HyperGame::new(vec![0, 0], vec![false; 2], vec![edge(0, &[0, 1])]);
+        assert!(matches!(err, Err(HyperGameError::BadLevels(0))));
+        // Valid.
+        let g = HyperGame::new(vec![1, 0], vec![true, false], vec![edge(0, &[0, 1])]).unwrap();
+        assert_eq!(g.height(), 1);
+        assert_eq!(g.token_count(), 1);
+        assert_eq!(g.children_of(0).collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn single_drop() {
+        // Node 0 at level 1 with token; node 1 at level 0. One hyperedge.
+        let g = HyperGame::new(vec![1, 0], vec![true, false], vec![edge(0, &[0, 1])]).unwrap();
+        let res = run_proposal(&g);
+        verify_hyper(&g, &res.moves).unwrap();
+        assert_eq!(res.moves.len(), 1);
+        assert_eq!(res.moves[0].from, 0);
+        assert_eq!(res.moves[0].to, 1);
+        assert!(res.final_tokens[1]);
+        assert!(!res.final_tokens[0]);
+    }
+
+    #[test]
+    fn rank3_picks_a_child() {
+        // Head 0 (level 2), members 1 (level 1) and 2 (level 1): both are
+        // children (level = head - 1).
+        let g = HyperGame::new(
+            vec![2, 1, 1],
+            vec![true, false, false],
+            vec![edge(0, &[0, 1, 2])],
+        )
+        .unwrap();
+        let res = run_proposal(&g);
+        verify_hyper(&g, &res.moves).unwrap();
+        assert_eq!(res.moves.len(), 1);
+        // Smallest child id requests and wins.
+        assert_eq!(res.moves[0].to, 1);
+    }
+
+    #[test]
+    fn non_child_members_cannot_receive() {
+        // Head 2 at level 1; members: 0 (level 0, child) and 1 (level 3,
+        // not a child). min(others) = 0 -> head at 1 ✓.
+        let g = HyperGame::new(
+            vec![0, 3, 1],
+            vec![false, false, true],
+            vec![edge(2, &[0, 1, 2])],
+        )
+        .unwrap();
+        let children: Vec<u32> = g.children_of(0).collect();
+        assert_eq!(children, vec![0]);
+        let res = run_proposal(&g);
+        verify_hyper(&g, &res.moves).unwrap();
+        assert_eq!(res.moves[0].to, 0);
+    }
+
+    #[test]
+    fn chain_descends_multiple_levels() {
+        // 3 nodes stacked: 2 (level 2, token) -e0-> 1 (level 1) -e1-> 0.
+        let g = HyperGame::new(
+            vec![0, 1, 2],
+            vec![false, false, true],
+            vec![edge(2, &[1, 2]), edge(1, &[0, 1])],
+        )
+        .unwrap();
+        let res = run_proposal(&g);
+        verify_hyper(&g, &res.moves).unwrap();
+        assert_eq!(res.moves.len(), 2);
+        assert!(res.final_tokens[0]);
+        assert_eq!(res.rounds, 2);
+    }
+
+    #[test]
+    fn blocked_token_stays() {
+        // Token at head, child occupied: maximal immediately.
+        let g = HyperGame::new(vec![1, 0], vec![true, true], vec![edge(0, &[0, 1])]).unwrap();
+        let res = run_proposal(&g);
+        verify_hyper(&g, &res.moves).unwrap();
+        assert!(res.moves.is_empty());
+        assert_eq!(res.rounds, 0);
+    }
+
+    #[test]
+    fn contention_unique_destination() {
+        // Two occupied heads (1, 2 at level 1) over one free node 0; two
+        // hyperedges. Only one token lands.
+        let g = HyperGame::new(
+            vec![0, 1, 1],
+            vec![false, true, true],
+            vec![edge(1, &[0, 1]), edge(2, &[0, 2])],
+        )
+        .unwrap();
+        let res = run_proposal(&g);
+        verify_hyper(&g, &res.moves).unwrap();
+        assert_eq!(res.moves.len(), 1);
+        assert_eq!(res.moves[0].from, 1); // smaller head id wins
+    }
+
+    #[test]
+    fn three_level_driver_matches_rules() {
+        let g = HyperGame::new(
+            vec![2, 1, 1, 0, 0],
+            vec![true, true, false, false, false],
+            vec![
+                edge(0, &[0, 1, 2]),
+                edge(1, &[1, 3]),
+                edge(2, &[2, 3, 4]),
+            ],
+        )
+        .unwrap();
+        let res = run_three_level(&g);
+        verify_hyper(&g, &res.moves).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "3-level driver")]
+    fn three_level_rejects_tall_games() {
+        let g = HyperGame::new(
+            vec![0, 1, 2, 3],
+            vec![false; 4],
+            vec![edge(3, &[2, 3])],
+        )
+        .unwrap();
+        let _ = run_three_level(&g);
+    }
+
+    #[test]
+    fn verifier_rejects_missed_move() {
+        let g = HyperGame::new(vec![1, 0], vec![true, false], vec![edge(0, &[0, 1])]).unwrap();
+        // Empty move list: token at 0 could still drop -> not maximal.
+        assert_eq!(
+            verify_hyper(&g, &[]),
+            Err(HyperViolation::NotMaximal { node: 0, edge: 0 })
+        );
+    }
+
+    #[test]
+    fn verifier_rejects_reuse_and_bad_step() {
+        let g = HyperGame::new(
+            vec![1, 0, 0],
+            vec![true, false, false],
+            vec![edge(0, &[0, 1, 2])],
+        )
+        .unwrap();
+        let bad = vec![
+            HyperMove {
+                round: 0,
+                from: 0,
+                to: 1,
+                edge: 0,
+            },
+            HyperMove {
+                round: 1,
+                from: 1,
+                to: 2,
+                edge: 0,
+            },
+        ];
+        // Second move: node 1 is at level 0, not a head; and edge reused.
+        let err = verify_hyper(&g, &bad).unwrap_err();
+        assert!(matches!(
+            err,
+            HyperViolation::IllegalStep(_) | HyperViolation::EdgeReused(_)
+        ));
+    }
+}

@@ -1,0 +1,38 @@
+//! # td-assign — stable assignments and semi-matchings (paper Section 7)
+//!
+//! The **stable assignment** problem generalizes stable orientation:
+//! *customers* (degree ≤ C) on one side of a bipartite graph each choose one
+//! adjacent *server* (degree ≤ S), and no customer may be able to strictly
+//! lower its server's load by unilaterally switching. Interpreting customers
+//! as hyperedges over the server set turns the problem into a hypergraph
+//! orientation game, and the paper's machinery lifts:
+//!
+//! * [`hyper`] — the **hypergraph token dropping game** and its proposal
+//!   algorithm (Theorem 7.1: O(L·S²) rounds), plus the 3-level specialised
+//!   solver used by the k-bounded algorithm (O(S) rounds);
+//! * [`phases`] — stable assignment in **O(C·S⁴)** rounds with O(C·S)
+//!   phases (Theorem 7.3, Lemma 7.2);
+//! * [`bounded`] — the **k-bounded** relaxation (loads above the threshold
+//!   are indistinguishable) and its **O(C·S²)** algorithm (Theorem 7.5);
+//! * [`matching_reduction`] — maximal bipartite matching extracted from a
+//!   2-bounded stable assignment with one post-processing round
+//!   (Theorem 7.4's reduction);
+//! * [`semi_matching`] — the semi-matching cost Σ_s load·(load+1)/2, an
+//!   **optimal** semi-matching solver via cost-reducing paths \[HLLT06\],
+//!   and the factor-2 approximation certificate for stable assignments
+//!   \[CHSW12\].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod assignment;
+pub mod bounded;
+pub mod hyper;
+pub mod instance;
+pub mod matching_reduction;
+pub mod phases;
+pub mod protocol;
+pub mod semi_matching;
+
+pub use assignment::Assignment;
+pub use instance::AssignmentInstance;

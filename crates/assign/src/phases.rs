@@ -1,0 +1,290 @@
+//! Stable assignment via hypergraph token dropping phases
+//! (Section 7.2, Theorem 7.3: O(C·S⁴) rounds, Lemma 7.2: O(C·S) phases).
+//!
+//! The scheme mirrors the rank-2 orientation algorithm of `td-orient`:
+//! every phase, each unassigned customer proposes to its minimum-load
+//! adjacent server; each server accepts one proposal; a hypergraph token
+//! dropping instance is built from the *assigned* customers of badness
+//! exactly 1 (levels = server loads, tokens on accepting servers); the
+//! instance is solved; every hyperedge on a traversal changes its head
+//! (the customer is reassigned one step down); finally the accepted
+//! customers are assigned. The generalized Lemma 5.4 keeps every customer's
+//! badness at most 1 at the end of each phase, so the final complete
+//! assignment is stable.
+
+use crate::assignment::Assignment;
+use crate::hyper::{HyperEdge, HyperGame};
+use crate::instance::AssignmentInstance;
+
+/// Per-phase statistics.
+#[derive(Clone, Debug)]
+pub struct AssignPhaseStats {
+    /// Customers newly assigned this phase.
+    pub assigned: usize,
+    /// Rounds used by the embedded hypergraph token dropping run.
+    pub td_rounds: u32,
+    /// Customer reassignments (token moves) this phase.
+    pub td_moves: usize,
+    /// Hyperedges in the token dropping instance.
+    pub td_edges: usize,
+}
+
+/// Result of the assignment phase algorithm.
+#[derive(Clone, Debug)]
+pub struct AssignPhaseResult {
+    /// The final (stable) assignment.
+    pub assignment: Assignment,
+    /// Phases executed (Lemma 7.2: O(C·S)).
+    pub phases: u32,
+    /// Derived communication rounds: Σ over phases of `2 + (2·td_rounds+1)`.
+    pub comm_rounds: u64,
+    /// Per-phase statistics.
+    pub stats: Vec<AssignPhaseStats>,
+    /// Phases ending with some customer at badness > 1 (always 0 for the
+    /// paper's algorithm; see the orientation crate's ablation notes).
+    pub invariant_violations: u32,
+}
+
+/// Runs the stable assignment phase algorithm (Theorem 7.3).
+///
+/// # Panics
+/// If the phase count exceeds `4·C·S + 8` (Lemma 7.2 guarantees O(C·S)).
+pub fn solve_stable_assignment(inst: &AssignmentInstance) -> AssignPhaseResult {
+    run(inst, LoadView::Exact)
+}
+
+/// Which load the proposal/badness logic sees. `Exact` gives Theorem 7.3;
+/// `Effective(k)` gives the k-bounded algorithm of Theorem 7.5 (used via
+/// [`crate::bounded`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LoadView {
+    /// Real loads.
+    Exact,
+    /// Loads clipped at `k` (Section 7.3's effective indegree).
+    Effective(u32),
+}
+
+impl LoadView {
+    #[inline]
+    fn view(self, load: u32) -> u32 {
+        match self {
+            LoadView::Exact => load,
+            LoadView::Effective(k) => load.min(k),
+        }
+    }
+}
+
+pub(crate) fn run(inst: &AssignmentInstance, view: LoadView) -> AssignPhaseResult {
+    let c_max = inst.max_customer_degree() as u64;
+    let s_max = inst.max_server_degree() as u64;
+    let max_phases = (4 * c_max * s_max + 8).min(u32::MAX as u64) as u32;
+    let nc = inst.num_customers();
+    let ns = inst.num_servers();
+
+    let mut assignment = Assignment::unassigned(inst);
+    let mut stats: Vec<AssignPhaseStats> = Vec::new();
+    let mut comm_rounds: u64 = 0;
+    let mut phases: u32 = 0;
+    let mut invariant_violations: u32 = 0;
+
+    while !assignment.fully_assigned() {
+        assert!(
+            phases < max_phases,
+            "assignment phases exceeded {max_phases} (C = {c_max}, S = {s_max})"
+        );
+
+        // --- 1. Proposals: unassigned customers pick the min-(viewed-)load
+        // adjacent server, ties by smaller server id.
+        let mut accept_pick: Vec<u32> = vec![u32::MAX; ns];
+        for c in 0..nc {
+            if assignment.server_of(c).is_some() {
+                continue;
+            }
+            let target = *inst
+                .servers_of(c)
+                .iter()
+                .min_by_key(|&&s| (view.view(assignment.load(s)), s))
+                .expect("customers have at least one server");
+            let slot = &mut accept_pick[target as usize];
+            if *slot == u32::MAX || (c as u32) < *slot {
+                *slot = c as u32;
+            }
+        }
+
+        // --- 2. Accepts: tokens on accepting servers.
+        let mut accepted: Vec<(usize, u32)> = Vec::new();
+        let mut token = vec![false; ns];
+        for s in 0..ns {
+            if accept_pick[s] != u32::MAX {
+                accepted.push((accept_pick[s] as usize, s as u32));
+                token[s] = true;
+            }
+        }
+        debug_assert!(!accepted.is_empty());
+
+        // --- 3. Token dropping instance from badness-exactly-1 customers.
+        let levels: Vec<u32> = (0..ns as u32).map(|s| view.view(assignment.load(s))).collect();
+        let mut edges: Vec<HyperEdge> = Vec::new();
+        let mut edge_customer: Vec<usize> = Vec::new();
+        for c in 0..nc {
+            let Some(head) = assignment.server_of(c) else {
+                continue;
+            };
+            if inst.degree_of(c) < 2 {
+                continue; // rank-1 customers have no alternative (badness 0)
+            }
+            let min_other = inst
+                .servers_of(c)
+                .iter()
+                .filter(|&&t| t != head)
+                .map(|&t| levels[t as usize])
+                .min()
+                .unwrap();
+            if levels[head as usize] as i64 - min_other as i64 == 1 {
+                edges.push(HyperEdge {
+                    head,
+                    members: inst.servers_of(c).to_vec(),
+                });
+                edge_customer.push(c);
+            }
+        }
+        let td_edges = edges.len();
+        let game = HyperGame::new(levels, token, edges)
+            .expect("badness-1 customers form a valid hypergraph game");
+
+        // --- 4. Solve; every move re-heads the corresponding customer.
+        let res = match view {
+            LoadView::Effective(k) if k <= 2 => crate::hyper::run_three_level(&game),
+            _ => crate::hyper::run_proposal(&game),
+        };
+        debug_assert!(crate::hyper::verify_hyper(&game, &res.moves).is_ok());
+        for m in &res.moves {
+            let c = edge_customer[m.edge as usize];
+            debug_assert_eq!(assignment.server_of(c), Some(m.from));
+            assignment.reassign(c, m.to);
+        }
+
+        // --- 5. Assign accepted customers.
+        for &(c, s) in &accepted {
+            assignment.assign(c, s);
+        }
+
+        // Generalized Lemma 5.4: viewed badness ≤ 1 at phase end.
+        let bad = (0..nc).any(|c| match view {
+            LoadView::Exact => assignment.badness(inst, c).unwrap_or(0) > 1,
+            LoadView::Effective(k) => assignment.effective_badness(inst, c, k).unwrap_or(0) > 1,
+        });
+        if bad {
+            invariant_violations += 1;
+        }
+
+        comm_rounds += 2 + (2 * res.rounds as u64 + 1);
+        stats.push(AssignPhaseStats {
+            assigned: accepted.len(),
+            td_rounds: res.rounds,
+            td_moves: res.moves.len(),
+            td_edges,
+        });
+        phases += 1;
+    }
+
+    AssignPhaseResult {
+        assignment,
+        phases,
+        comm_rounds,
+        stats,
+        invariant_violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn solves_tiny_instances() {
+        let inst = AssignmentInstance::new(2, &[vec![0, 1], vec![0, 1], vec![0, 1]]);
+        let res = solve_stable_assignment(&inst);
+        res.assignment.verify_stable(&inst).unwrap();
+        assert_eq!(res.invariant_violations, 0);
+        // 3 customers over 2 servers: loads must be {2, 1}.
+        let mut loads: Vec<u32> = res.assignment.loads().to_vec();
+        loads.sort_unstable();
+        assert_eq!(loads, vec![1, 2]);
+    }
+
+    #[test]
+    fn solves_random_instances() {
+        let mut rng = SmallRng::seed_from_u64(101);
+        for trial in 0..20 {
+            let inst = AssignmentInstance::random(40, 12, 2..=4, &mut rng);
+            let res = solve_stable_assignment(&inst);
+            res.assignment
+                .verify_stable(&inst)
+                .unwrap_or_else(|e| panic!("trial {trial}: {e}"));
+            assert_eq!(res.invariant_violations, 0, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn solves_skewed_instances() {
+        let mut rng = SmallRng::seed_from_u64(102);
+        let inst = AssignmentInstance::skewed(120, 20, 1..=3, 1.1, &mut rng);
+        let res = solve_stable_assignment(&inst);
+        res.assignment.verify_stable(&inst).unwrap();
+    }
+
+    #[test]
+    fn phase_bound_lemma_7_2() {
+        let mut rng = SmallRng::seed_from_u64(103);
+        for _ in 0..5 {
+            let inst = AssignmentInstance::random(60, 15, 2..=5, &mut rng);
+            let c = inst.max_customer_degree() as u32;
+            let s = inst.max_server_degree() as u32;
+            let res = solve_stable_assignment(&inst);
+            assert!(
+                res.phases <= 2 * c * s + 2,
+                "phases {} vs C·S = {}",
+                res.phases,
+                c * s
+            );
+        }
+    }
+
+    #[test]
+    fn rank1_customers_handled() {
+        // All customers have a single server: trivially stable pile-up.
+        let inst = AssignmentInstance::new(2, &[vec![0], vec![0], vec![1]]);
+        let res = solve_stable_assignment(&inst);
+        res.assignment.verify_stable(&inst).unwrap();
+        assert_eq!(res.assignment.load(0), 2);
+    }
+
+    #[test]
+    fn rank2_matches_orientation_semantics() {
+        // Degree-2 customers = stable orientation. Cross-check stability
+        // against the orientation crate on the same structure: a cycle of
+        // servers where customer i connects servers i and i+1.
+        let ns = 6;
+        let customers: Vec<Vec<u32>> =
+            (0..ns as u32).map(|i| vec![i, (i + 1) % ns as u32]).collect();
+        let inst = AssignmentInstance::new(ns, &customers);
+        let res = solve_stable_assignment(&inst);
+        res.assignment.verify_stable(&inst).unwrap();
+        // On a cycle, stable = every server load 1 or a 2/0 never adjacent…
+        // verify via potential: sum of loads = 6.
+        assert_eq!(res.assignment.loads().iter().sum::<u32>(), 6);
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut rng = SmallRng::seed_from_u64(104);
+        let inst = AssignmentInstance::random(30, 8, 2..=3, &mut rng);
+        let a = solve_stable_assignment(&inst);
+        let b = solve_stable_assignment(&inst);
+        assert_eq!(a.assignment, b.assignment);
+        assert_eq!(a.phases, b.phases);
+    }
+}

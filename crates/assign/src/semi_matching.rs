@@ -1,0 +1,287 @@
+//! Semi-matchings: the cost objective, an optimal solver via cost-reducing
+//! paths \[HLLT06\], and the factor-2 approximation certificate for stable
+//! assignments \[CHSW12\] (experiment E8).
+//!
+//! A *semi-matching* assigns every customer to one adjacent server; its cost
+//! is `Σ_s f(load(s))` with `f(x) = 1 + 2 + … + x`, the total waiting time
+//! when each server processes its customers sequentially. \[HLLT06\] shows a
+//! semi-matching is optimal iff it admits no **cost-reducing path**: an
+//! alternating path from a server `s` to a server `t` with
+//! `load(t) ≤ load(s) − 2` along which every hop moves an assigned customer
+//! to an adjacent server — shifting the assignments along the path lowers
+//! the cost by `load(s) − load(t) − 1 ≥ 1`.
+
+use crate::assignment::Assignment;
+use crate::instance::AssignmentInstance;
+use std::collections::VecDeque;
+
+/// A cost-reducing path: servers visited and, per hop, the customer moved.
+#[derive(Clone, Debug)]
+pub struct CostReducingPath {
+    /// Servers `s_0 … s_k` with `load(s_k) ≤ load(s_0) − 2`.
+    pub servers: Vec<u32>,
+    /// `customers[i]` is reassigned from `servers[i]` to `servers[i+1]`.
+    pub customers: Vec<usize>,
+}
+
+/// Finds a cost-reducing path starting at `start`, if one exists, by BFS
+/// over the reassignment digraph (server → server via an assigned,
+/// adjacent customer).
+pub fn find_cost_reducing_path_from(
+    inst: &AssignmentInstance,
+    a: &Assignment,
+    start: u32,
+) -> Option<CostReducingPath> {
+    let ns = inst.num_servers();
+    let start_load = a.load(start);
+    if start_load < 2 {
+        return None;
+    }
+    // parent[s] = (prev server, customer moved prev -> s)
+    let mut parent: Vec<Option<(u32, usize)>> = vec![None; ns];
+    let mut visited = vec![false; ns];
+    visited[start as usize] = true;
+    let mut queue = VecDeque::new();
+    queue.push_back(start);
+
+    // Per-server assigned customer lists (built once per call; callers that
+    // loop keep instances small enough for this to be cheap).
+    let mut assigned_to: Vec<Vec<usize>> = vec![Vec::new(); ns];
+    for c in 0..inst.num_customers() {
+        if let Some(s) = a.server_of(c) {
+            assigned_to[s as usize].push(c);
+        }
+    }
+
+    while let Some(s) = queue.pop_front() {
+        for &c in &assigned_to[s as usize] {
+            for &t in inst.servers_of(c) {
+                if t == s || visited[t as usize] {
+                    continue;
+                }
+                visited[t as usize] = true;
+                parent[t as usize] = Some((s, c));
+                if a.load(t) + 2 <= start_load {
+                    // Reconstruct.
+                    let mut servers = vec![t];
+                    let mut customers = Vec::new();
+                    let mut cur = t;
+                    while let Some((prev, customer)) = parent[cur as usize] {
+                        customers.push(customer);
+                        servers.push(prev);
+                        cur = prev;
+                    }
+                    servers.reverse();
+                    customers.reverse();
+                    return Some(CostReducingPath { servers, customers });
+                }
+                queue.push_back(t);
+            }
+        }
+    }
+    None
+}
+
+/// Applies a cost-reducing path (shifts every listed customer one hop).
+pub fn apply_path(a: &mut Assignment, path: &CostReducingPath) {
+    for (i, &c) in path.customers.iter().enumerate() {
+        debug_assert_eq!(a.server_of(c), Some(path.servers[i]));
+        a.reassign(c, path.servers[i + 1]);
+    }
+}
+
+/// True if no cost-reducing path exists — the \[HLLT06\] optimality
+/// criterion. (Independent of the solver's internals: it re-searches from
+/// every server.)
+pub fn is_optimal(inst: &AssignmentInstance, a: &Assignment) -> bool {
+    (0..inst.num_servers() as u32)
+        .all(|s| find_cost_reducing_path_from(inst, a, s).is_none())
+}
+
+/// Result of the optimal solver.
+#[derive(Clone, Debug)]
+pub struct OptimalResult {
+    /// An optimal semi-matching.
+    pub assignment: Assignment,
+    /// Cost-reducing paths applied.
+    pub paths_applied: u64,
+}
+
+/// Computes an **optimal** semi-matching: greedy start (each customer to
+/// its currently least-loaded server), then eliminate cost-reducing paths
+/// until none remain.
+pub fn optimal_semi_matching(inst: &AssignmentInstance) -> OptimalResult {
+    let mut a = Assignment::unassigned(inst);
+    for c in 0..inst.num_customers() {
+        let s = *inst
+            .servers_of(c)
+            .iter()
+            .min_by_key(|&&s| (a.load(s), s))
+            .unwrap();
+        a.assign(c, s);
+    }
+    let mut paths_applied = 0u64;
+    loop {
+        // Search from the most loaded servers first (only they can start a
+        // cost-reducing path).
+        let mut order: Vec<u32> = (0..inst.num_servers() as u32).collect();
+        order.sort_unstable_by_key(|&s| std::cmp::Reverse(a.load(s)));
+        let mut improved = false;
+        for &s in &order {
+            if a.load(s) < 2 {
+                break;
+            }
+            if let Some(path) = find_cost_reducing_path_from(inst, &a, s) {
+                apply_path(&mut a, &path);
+                paths_applied += 1;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    debug_assert!(is_optimal(inst, &a));
+    OptimalResult {
+        assignment: a,
+        paths_applied,
+    }
+}
+
+/// The approximation ratio `cost(candidate) / cost(optimal)` as a float.
+pub fn approximation_ratio(candidate: &Assignment, optimal: &Assignment) -> f64 {
+    let c = candidate.cost() as f64;
+    let o = optimal.cost() as f64;
+    if o == 0.0 {
+        1.0
+    } else {
+        c / o
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phases::solve_stable_assignment;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn optimal_on_tiny() {
+        // 4 customers, 2 servers, all adjacent: optimal splits 2/2, cost 3+3.
+        let inst = AssignmentInstance::new(2, &vec![vec![0, 1]; 4]);
+        let res = optimal_semi_matching(&inst);
+        assert_eq!(res.assignment.cost(), 6);
+        assert!(is_optimal(&inst, &res.assignment));
+    }
+
+    #[test]
+    fn path_application_reduces_cost() {
+        // Chain: c0: {0}, c1: {0}, c2: {0, 1}, server 1 free.
+        let inst = AssignmentInstance::new(2, &[vec![0], vec![0], vec![0, 1]]);
+        let mut a = Assignment::first_choice(&inst); // all on server 0
+        assert_eq!(a.cost(), 6);
+        let path = find_cost_reducing_path_from(&inst, &a, 0).expect("path exists");
+        assert_eq!(path.servers, vec![0, 1]);
+        apply_path(&mut a, &path);
+        assert_eq!(a.cost(), 3 + 1);
+        assert!(is_optimal(&inst, &a));
+    }
+
+    #[test]
+    fn long_cost_reducing_path() {
+        // Servers 0-1-2 chained by degree-2 customers; pile on server 0.
+        // c0,c1: {0}; c2: {0,1}; c3: {1,2}.
+        let inst = AssignmentInstance::new(3, &[vec![0], vec![0], vec![0, 1], vec![1, 2]]);
+        let mut a = Assignment::unassigned(&inst);
+        a.assign(0, 0);
+        a.assign(1, 0);
+        a.assign(2, 0);
+        a.assign(3, 1);
+        // load = (3, 1, 0): BFS finds 0 -> 1 first (1 + 2 <= 3), giving
+        // loads (2, 2, 0); a second path 1 -> 2 then yields (2, 1, 1).
+        let path = find_cost_reducing_path_from(&inst, &a, 0).expect("path exists");
+        let before = a.cost();
+        apply_path(&mut a, &path);
+        assert!(a.cost() < before);
+        assert_eq!(a.loads(), &[2, 2, 0]);
+        let path = find_cost_reducing_path_from(&inst, &a, 1).expect("second path");
+        apply_path(&mut a, &path);
+        assert_eq!(a.loads(), &[2, 1, 1]);
+        assert!(is_optimal(&inst, &a));
+    }
+
+    #[test]
+    fn optimal_matches_bruteforce_on_small() {
+        // Brute force all assignments for tiny instances.
+        let mut rng = SmallRng::seed_from_u64(121);
+        for _ in 0..20 {
+            let inst = AssignmentInstance::random(6, 4, 1..=3, &mut rng);
+            let res = optimal_semi_matching(&inst);
+            let best = brute_force_cost(&inst);
+            assert_eq!(res.assignment.cost(), best);
+        }
+    }
+
+    fn brute_force_cost(inst: &AssignmentInstance) -> u64 {
+        fn rec(inst: &AssignmentInstance, c: usize, a: &mut Assignment, best: &mut u64) {
+            if c == inst.num_customers() {
+                *best = (*best).min(a.cost());
+                return;
+            }
+            for &s in inst.servers_of(c) {
+                a.assign(c, s);
+                rec(inst, c + 1, a, best);
+                // Undo.
+                let mut fresh = Assignment::unassigned(inst);
+                for cc in 0..c {
+                    fresh.assign(cc, a.server_of(cc).unwrap());
+                }
+                *a = fresh;
+            }
+        }
+        let mut best = u64::MAX;
+        let mut a = Assignment::unassigned(inst);
+        rec(inst, 0, &mut a, &mut best);
+        best
+    }
+
+    #[test]
+    fn stable_assignment_is_2_approximation() {
+        // The CHSW12 certificate (experiment E8): stable ⟹ cost ≤ 2 · OPT.
+        let mut rng = SmallRng::seed_from_u64(122);
+        for trial in 0..15 {
+            let inst = AssignmentInstance::random(50, 10, 2..=4, &mut rng);
+            let stable = solve_stable_assignment(&inst);
+            stable.assignment.verify_stable(&inst).unwrap();
+            let opt = optimal_semi_matching(&inst);
+            let ratio = approximation_ratio(&stable.assignment, &opt.assignment);
+            assert!(
+                ratio <= 2.0 + 1e-9,
+                "trial {trial}: ratio {ratio} exceeds 2"
+            );
+            assert!(ratio >= 1.0 - 1e-9, "trial {trial}: ratio {ratio} below 1");
+        }
+    }
+
+    #[test]
+    fn skewed_instances_ratio_bounded() {
+        let mut rng = SmallRng::seed_from_u64(123);
+        let inst = AssignmentInstance::skewed(100, 15, 1..=3, 1.2, &mut rng);
+        let stable = solve_stable_assignment(&inst);
+        let opt = optimal_semi_matching(&inst);
+        let ratio = approximation_ratio(&stable.assignment, &opt.assignment);
+        assert!((1.0..=2.0 + 1e-9).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn optimal_is_stable() {
+        // Optimal semi-matchings are stable (no cost-reducing path of
+        // length 1 = no unhappy customer).
+        let mut rng = SmallRng::seed_from_u64(124);
+        let inst = AssignmentInstance::random(40, 8, 2..=3, &mut rng);
+        let opt = optimal_semi_matching(&inst);
+        opt.assignment.verify_stable(&inst).unwrap();
+    }
+}

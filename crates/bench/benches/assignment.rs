@@ -1,0 +1,38 @@
+//! Criterion benches for experiments E6/E7/E8: stable assignment, the
+//! 2-bounded relaxation, and the optimal semi-matching solver.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use td_assign::bounded::solve_2_bounded;
+use td_assign::phases::solve_stable_assignment;
+use td_assign::semi_matching::optimal_semi_matching;
+use td_bench::workloads::assignment_instance;
+
+fn bench_stable_assignment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_stable_assignment");
+    group.sample_size(10);
+    for s_avg in [4usize, 8, 16] {
+        let inst = assignment_instance(3, s_avg, 24, 42);
+        group.bench_with_input(BenchmarkId::new("exact", s_avg), &inst, |b, inst| {
+            b.iter(|| solve_stable_assignment(inst))
+        });
+        group.bench_with_input(BenchmarkId::new("bounded_k2", s_avg), &inst, |b, inst| {
+            b.iter(|| solve_2_bounded(inst))
+        });
+    }
+    group.finish();
+}
+
+fn bench_optimal_semi_matching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_semi_matching");
+    group.sample_size(10);
+    for nc in [100usize, 300] {
+        let inst = assignment_instance(3, 3 * nc / 24, 24, 42);
+        group.bench_with_input(BenchmarkId::new("optimal", nc), &inst, |b, inst| {
+            b.iter(|| optimal_semi_matching(inst))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_stable_assignment, bench_optimal_semi_matching);
+criterion_main!(benches);

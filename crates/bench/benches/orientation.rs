@@ -1,0 +1,51 @@
+//! Criterion benches for experiments E4/E12: stable orientation — the phase
+//! algorithm against the arbitrary-start baseline and the sequential
+//! flipper, plus the proposal-policy ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use td_bench::workloads::regular_graph;
+use td_orient::baseline;
+use td_orient::orientation::Orientation;
+use td_orient::phases::{solve_stable_orientation, PhaseConfig, ProposalTie};
+use td_orient::sequential;
+
+fn bench_phase_algorithm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_stable_orientation");
+    group.sample_size(10);
+    for delta in [4usize, 8, 16] {
+        let g = regular_graph(delta, 12, 42);
+        group.bench_with_input(BenchmarkId::new("ours_phases", delta), &g, |b, g| {
+            b.iter(|| solve_stable_orientation(g, PhaseConfig::default()))
+        });
+        group.bench_with_input(BenchmarkId::new("baseline_flips", delta), &g, |b, g| {
+            b.iter(|| baseline::run(g, Orientation::toward_larger(g), 7, 10_000_000))
+        });
+        group.bench_with_input(BenchmarkId::new("sequential_greedy", delta), &g, |b, g| {
+            b.iter(|| sequential::run(g, Orientation::toward_larger(g)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e12_proposal_ablation");
+    group.sample_size(10);
+    let g = regular_graph(8, 12, 42);
+    group.bench_function("careful_min_load", |b| {
+        b.iter(|| solve_stable_orientation(&g, PhaseConfig::default()))
+    });
+    group.bench_function("load_blind", |b| {
+        b.iter(|| {
+            solve_stable_orientation(
+                &g,
+                PhaseConfig {
+                    proposal_tie: ProposalTie::IgnoreLoads,
+                },
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_phase_algorithm, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion benches for experiment E13: LOCAL-simulator executor
+//! throughput — sequential vs multi-threaded on the real proposal protocol.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use td_bench::workloads::layered_game;
+use td_core::{lockstep, proposal};
+use td_local::Simulator;
+
+fn bench_executors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e13_simulator_executors");
+    group.sample_size(10);
+    // Mid-size instance: large enough that per-round work dominates
+    // scheduling, small enough for quick iterations.
+    let game = layered_game(8, 5, 42);
+    group.bench_function("sequential", |b| {
+        b.iter(|| proposal::run_on_simulator(&game, &Simulator::sequential()))
+    });
+    group.bench_function("parallel_2", |b| {
+        b.iter(|| proposal::run_on_simulator(&game, &Simulator::parallel(2)))
+    });
+    group.bench_function("lockstep_fast_path", |b| b.iter(|| lockstep::run(&game)));
+    group.finish();
+}
+
+fn bench_large_round_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e13_large_instance");
+    group.sample_size(10);
+    let mut rng = {
+        use rand::SeedableRng;
+        rand::rngs::SmallRng::seed_from_u64(7)
+    };
+    let game = td_core::TokenGame::random(&[30_000, 30_000, 30_000], 5, 0.5, &mut rng);
+    group.bench_function("lockstep_90k_nodes", |b| b.iter(|| lockstep::run(&game)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_executors, bench_large_round_throughput);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion benches for experiments E1/E2: the token dropping engines
+//! across the Δ sweep (wall-clock companion to the round-count tables that
+//! `repro e1`/`repro e2` print).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use td_bench::workloads::{layered_game, three_level_game};
+use td_core::{greedy, lockstep, proposal, three_level};
+use td_local::Simulator;
+
+fn bench_lockstep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_token_dropping_lockstep");
+    group.sample_size(10);
+    for delta in [4usize, 8, 16] {
+        let game = layered_game(delta, 4, 42);
+        group.bench_with_input(BenchmarkId::from_parameter(delta), &game, |b, game| {
+            b.iter(|| lockstep::run(game));
+        });
+    }
+    group.finish();
+}
+
+fn bench_protocol_vs_lockstep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_token_dropping_protocol");
+    group.sample_size(10);
+    let game = layered_game(8, 4, 42);
+    group.bench_function("lockstep", |b| b.iter(|| lockstep::run(&game)));
+    group.bench_function("local_protocol_seq", |b| {
+        b.iter(|| proposal::run_on_simulator(&game, &Simulator::sequential()))
+    });
+    group.bench_function("greedy_centralized", |b| b.iter(|| greedy::run(&game)));
+    group.finish();
+}
+
+fn bench_three_level(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_three_level");
+    group.sample_size(10);
+    for delta in [8usize, 16, 32] {
+        let game = three_level_game(delta, 42);
+        group.bench_with_input(
+            BenchmarkId::new("specialised", delta),
+            &game,
+            |b, game| b.iter(|| three_level::run_lockstep(game)),
+        );
+        group.bench_with_input(BenchmarkId::new("general", delta), &game, |b, game| {
+            b.iter(|| lockstep::run(game))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_lockstep,
+    bench_protocol_vs_lockstep,
+    bench_three_level
+);
+criterion_main!(benches);

@@ -1,0 +1,182 @@
+//! Plain-text token game I/O.
+//!
+//! Format (whitespace-separated, `#`-comments allowed):
+//!
+//! ```text
+//! <n> <m>
+//! <level> <token: 0|1>     (n lines, node i on the i-th line)
+//! <u> <v>                  (m lines)
+//! ```
+
+use crate::game::TokenGame;
+use std::io::{BufRead, Write};
+use td_graph::{GraphBuilder, NodeId};
+
+/// Errors while reading a game description.
+#[derive(Debug)]
+pub enum GameReadError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Syntax/semantic problem with a line number (1-based; 0 = global).
+    Parse {
+        /// Offending line.
+        line: usize,
+        /// Explanation.
+        msg: String,
+    },
+}
+
+impl std::fmt::Display for GameReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GameReadError::Io(e) => write!(f, "io error: {e}"),
+            GameReadError::Parse { line, msg } => write!(f, "line {line}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GameReadError {}
+
+impl From<std::io::Error> for GameReadError {
+    fn from(e: std::io::Error) -> Self {
+        GameReadError::Io(e)
+    }
+}
+
+/// Writes a game in the text format.
+pub fn write_game(game: &TokenGame, mut w: impl Write) -> std::io::Result<()> {
+    writeln!(
+        w,
+        "{} {}",
+        game.num_nodes(),
+        game.graph().num_edges()
+    )?;
+    for v in game.graph().nodes() {
+        writeln!(w, "{} {}", game.level(v), game.has_token(v) as u8)?;
+    }
+    for (_, u, v) in game.graph().edge_list() {
+        writeln!(w, "{} {}", u.0, v.0)?;
+    }
+    Ok(())
+}
+
+/// Reads a game in the text format.
+pub fn read_game(r: impl BufRead) -> Result<TokenGame, GameReadError> {
+    let mut tokens_of_line: Vec<(usize, Vec<u64>)> = Vec::new();
+    for (lineno, line) in r.lines().enumerate() {
+        let line = line?;
+        let content = line.split('#').next().unwrap_or("").trim();
+        if content.is_empty() {
+            continue;
+        }
+        let nums: Result<Vec<u64>, _> = content.split_whitespace().map(|t| t.parse()).collect();
+        match nums {
+            Ok(v) => tokens_of_line.push((lineno + 1, v)),
+            Err(e) => {
+                return Err(GameReadError::Parse {
+                    line: lineno + 1,
+                    msg: format!("expected integers: {e}"),
+                })
+            }
+        }
+    }
+    let mut it = tokens_of_line.into_iter();
+    let (hl, header) = it.next().ok_or(GameReadError::Parse {
+        line: 0,
+        msg: "empty input".into(),
+    })?;
+    if header.len() != 2 {
+        return Err(GameReadError::Parse {
+            line: hl,
+            msg: "header must be '<n> <m>'".into(),
+        });
+    }
+    let (n, m) = (header[0] as usize, header[1] as usize);
+    let mut level = Vec::with_capacity(n);
+    let mut token = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (l, row) = it.next().ok_or(GameReadError::Parse {
+            line: 0,
+            msg: "missing node lines".into(),
+        })?;
+        if row.len() != 2 || row[1] > 1 {
+            return Err(GameReadError::Parse {
+                line: l,
+                msg: "node line must be '<level> <0|1>'".into(),
+            });
+        }
+        level.push(row[0] as u32);
+        token.push(row[1] == 1);
+    }
+    let mut b = GraphBuilder::with_capacity(n, m);
+    for _ in 0..m {
+        let (l, row) = it.next().ok_or(GameReadError::Parse {
+            line: 0,
+            msg: "missing edge lines".into(),
+        })?;
+        if row.len() != 2 {
+            return Err(GameReadError::Parse {
+                line: l,
+                msg: "edge line must be '<u> <v>'".into(),
+            });
+        }
+        b.add_edge(NodeId(row[0] as u32), NodeId(row[1] as u32))
+            .map_err(|e| GameReadError::Parse {
+                line: l,
+                msg: e.to_string(),
+            })?;
+    }
+    if let Some((l, _)) = it.next() {
+        return Err(GameReadError::Parse {
+            line: l,
+            msg: "trailing lines".into(),
+        });
+    }
+    let graph = b.build().map_err(|e| GameReadError::Parse {
+        line: 0,
+        msg: e.to_string(),
+    })?;
+    TokenGame::new(graph, level, token).map_err(|e| GameReadError::Parse {
+        line: 0,
+        msg: e.to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_figure2() {
+        let game = TokenGame::figure2();
+        let mut buf = Vec::new();
+        write_game(&game, &mut buf).unwrap();
+        let game2 = read_game(&buf[..]).unwrap();
+        assert_eq!(game.levels(), game2.levels());
+        assert_eq!(game.tokens(), game2.tokens());
+        assert_eq!(game.graph(), game2.graph());
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for text in [
+            "",
+            "2\n",                       // bad header
+            "2 1\n0 1\n",                // missing node line
+            "2 1\n0 0\n1 2\n0 1\n",      // token flag 2
+            "2 1\n0 0\n1 0\n",           // missing edge
+            "2 1\n0 0\n1 0\n0 1\n0 1\n", // trailing line
+            "2 1\n0 0\n5 0\n0 1\n",      // non-adjacent levels
+        ] {
+            assert!(read_game(text.as_bytes()).is_err(), "{text:?}");
+        }
+    }
+
+    #[test]
+    fn accepts_comments() {
+        let text = "# game\n2 1\n1 1 # top\n0 0\n1 0\n";
+        let game = read_game(text.as_bytes()).unwrap();
+        assert_eq!(game.token_count(), 1);
+        assert_eq!(game.height(), 1);
+    }
+}

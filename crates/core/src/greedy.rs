@@ -1,0 +1,146 @@
+//! The trivial centralized sequential baseline for token dropping
+//! (Section 1.2: "repeatedly pick any token that can be moved downwards and
+//! move it by one step").
+//!
+//! Used as a correctness oracle and as the sequential-work baseline in the
+//! benches: it counts *individual token moves*, the quantity a centralized
+//! scheduler would execute one at a time.
+
+use crate::game::TokenGame;
+use crate::solution::{MoveEvent, MoveLog, Solution};
+use td_graph::NodeId;
+
+/// Result of the greedy baseline.
+#[derive(Clone, Debug)]
+pub struct GreedyResult {
+    /// The reconstructed traversals.
+    pub solution: Solution,
+    /// Every move, in execution order (each event gets its own round index,
+    /// reflecting strictly sequential execution).
+    pub log: MoveLog,
+    /// Total number of sequential steps (== `log.len()`).
+    pub steps: usize,
+}
+
+/// Runs the sequential greedy: scan nodes in id order, move any movable
+/// token one step down (to its smallest-id unoccupied child along an
+/// unconsumed edge), repeat until stuck.
+pub fn run(game: &TokenGame) -> GreedyResult {
+    let g = game.graph();
+    let n = g.num_nodes();
+    let mut occupied: Vec<bool> = (0..n).map(|v| game.has_token(NodeId::from(v))).collect();
+    let mut consumed: Vec<bool> = vec![false; g.num_edges()];
+    let mut log = MoveLog::default();
+    let mut step: u32 = 0;
+
+    // A simple worklist of candidate movers; a node re-enters when it
+    // receives a token.
+    let mut work: Vec<u32> = (0..n as u32).rev().collect();
+    let mut queued: Vec<bool> = vec![true; n];
+    while let Some(v) = work.pop() {
+        queued[v as usize] = false;
+        if !occupied[v as usize] {
+            continue;
+        }
+        let node = NodeId(v);
+        let mut target: Option<(td_graph::Port, NodeId)> = None;
+        for (p, child) in game.children(node) {
+            let e = g.edge_at(node, p);
+            if consumed[e.idx()] || occupied[child.idx()] {
+                continue;
+            }
+            if target.is_none_or(|(_, best)| child < best) {
+                target = Some((p, child));
+            }
+        }
+        if let Some((p, child)) = target {
+            let e = g.edge_at(node, p);
+            consumed[e.idx()] = true;
+            occupied[v as usize] = false;
+            occupied[child.idx()] = true;
+            log.events.push(MoveEvent {
+                round: step,
+                from: node,
+                to: child,
+            });
+            step += 1;
+            // The moved token may move again; the vacated node's parents may
+            // now move into it.
+            if !queued[child.idx()] {
+                queued[child.idx()] = true;
+                work.push(child.0);
+            }
+            for (pp, parent) in game.parents(node) {
+                let pe = g.edge_at(node, pp);
+                if !consumed[pe.idx()] && occupied[parent.idx()] && !queued[parent.idx()] {
+                    queued[parent.idx()] = true;
+                    work.push(parent.0);
+                }
+            }
+        }
+    }
+
+    let steps = log.len();
+    let solution = Solution::from_moves(game, &log);
+    GreedyResult {
+        solution,
+        log,
+        steps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::{verify_dynamics, verify_solution};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use td_graph::CsrGraph;
+
+    #[test]
+    fn drops_token_down_path() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let game = TokenGame::new(g, vec![0, 1, 2, 3], vec![false, false, false, true]).unwrap();
+        let res = run(&game);
+        verify_solution(&game, &res.solution).unwrap();
+        verify_dynamics(&game, &res.log).unwrap();
+        assert_eq!(res.steps, 3);
+        assert_eq!(
+            res.solution.traversals[0].path,
+            vec![NodeId(3), NodeId(2), NodeId(1), NodeId(0)]
+        );
+    }
+
+    #[test]
+    fn figure2_valid() {
+        let game = TokenGame::figure2();
+        let res = run(&game);
+        verify_solution(&game, &res.solution).unwrap();
+        verify_dynamics(&game, &res.log).unwrap();
+    }
+
+    #[test]
+    fn random_games_valid_and_edge_budget() {
+        let mut rng = SmallRng::seed_from_u64(17);
+        for _ in 0..25 {
+            let game = TokenGame::random(&[6, 9, 9, 6, 4], 3, 0.4, &mut rng);
+            let res = run(&game);
+            verify_solution(&game, &res.solution).unwrap();
+            verify_dynamics(&game, &res.log).unwrap();
+            // Each edge is used at most once: moves <= m.
+            assert!(res.steps <= game.graph().num_edges());
+        }
+    }
+
+    #[test]
+    fn greedy_and_lockstep_agree_on_validity_not_output() {
+        // Different engines may produce different (both valid) solutions.
+        let mut rng = SmallRng::seed_from_u64(18);
+        let game = TokenGame::random(&[8, 8, 8], 2, 0.5, &mut rng);
+        let a = run(&game);
+        let b = crate::lockstep::run(&game);
+        verify_solution(&game, &a.solution).unwrap();
+        verify_solution(&game, &b.solution).unwrap();
+        assert_eq!(a.solution.traversals.len(), b.solution.traversals.len());
+    }
+}

@@ -1,0 +1,291 @@
+//! Lockstep engine for the proposal algorithm (Section 4.1).
+//!
+//! This executes exactly the per-round dynamics of the paper's proposal
+//! algorithm — requests by active unoccupied nodes, grants by occupied
+//! nodes, edge consumption, and the termination rule — directly on global
+//! arrays, without materializing messages. It is the fast path for large
+//! parameter sweeps; `td-local`-based [`crate::proposal`] is the
+//! model-faithful reference, and tests pin the two to each other (identical
+//! traversals; round counts within the fixed ±constant factor implied by the
+//! 2-communication-rounds-per-game-round encoding).
+//!
+//! Tie-breaking is deterministic: an unoccupied node requests from its
+//! smallest-id occupied parent; an occupied node grants to its smallest-id
+//! requesting child.
+
+use crate::game::TokenGame;
+use crate::solution::{MoveEvent, MoveLog, Solution};
+use td_graph::NodeId;
+
+/// Result of a lockstep run.
+#[derive(Clone, Debug)]
+pub struct LockstepResult {
+    /// Reconstructed traversals (one per token).
+    pub solution: Solution,
+    /// The raw move events.
+    pub log: MoveLog,
+    /// Game rounds executed until every node terminated. One game round
+    /// corresponds to two communication rounds of the LOCAL protocol
+    /// (Section 4.1: "each round of our algorithm actually consists of two
+    /// synchronous communication rounds").
+    pub rounds: u32,
+}
+
+/// Runs the proposal algorithm to completion.
+///
+/// # Panics
+/// If the game does not terminate within `max_rounds` rounds (Theorem 4.1
+/// guarantees O(L·Δ²); the default entry point sets a generous cap).
+pub fn run_with_cap(game: &TokenGame, max_rounds: u32) -> LockstepResult {
+    let g = game.graph();
+    let n = g.num_nodes();
+    let mut occupied: Vec<bool> = (0..n).map(|v| game.has_token(NodeId::from(v))).collect();
+    let mut consumed: Vec<bool> = vec![false; g.num_edges()];
+    let mut alive: Vec<bool> = vec![true; n];
+    let mut alive_count = n;
+    let mut log = MoveLog::default();
+    let mut rounds: u32 = 0;
+
+    // Knowledge staleness: in the 2-communication-rounds-per-game-round
+    // message protocol, a "became occupied" announcement reaches children one
+    // game round after the token arrived ("became empty" news is always
+    // current). `just_received[v]` marks nodes whose token arrived in the
+    // previous grant phase; children do not yet know and will not request
+    // from them this round. Modeling this here makes the lockstep engine's
+    // move sequence *identical* to the message protocol's (tests pin this).
+    let mut just_received: Vec<bool> = vec![false; n];
+
+    // grant_pick[v]: smallest requesting child of parent v this round.
+    let mut grant_pick: Vec<u32> = vec![u32::MAX; n];
+
+    while alive_count > 0 {
+        assert!(
+            rounds < max_rounds,
+            "proposal lockstep exceeded {max_rounds} rounds (n = {n})"
+        );
+
+        // --- Request phase: every alive, unoccupied node with at least one
+        // occupied alive parent (via an unconsumed edge) requests from the
+        // smallest-id such parent.
+        for u in 0..n {
+            if !alive[u] || occupied[u] {
+                continue;
+            }
+            let node = NodeId::from(u);
+            let mut best: Option<NodeId> = None;
+            for (p, parent) in game.parents(node) {
+                let e = g.edge_at(node, p);
+                if consumed[e.idx()]
+                    || !alive[parent.idx()]
+                    || !occupied[parent.idx()]
+                    || just_received[parent.idx()]
+                {
+                    continue;
+                }
+                if best.is_none_or(|b| parent < b) {
+                    best = Some(parent);
+                }
+            }
+            if let Some(parent) = best {
+                let slot = &mut grant_pick[parent.idx()];
+                if *slot == u32::MAX || (u as u32) < *slot {
+                    *slot = u as u32;
+                }
+            }
+        }
+
+        // --- Grant phase: every occupied node with a requesting child
+        // passes its token to the smallest-id requester; the edge is
+        // consumed. All grants are simultaneous (sources were occupied and
+        // targets unoccupied at the start of the round, and the two sets are
+        // disjoint).
+        let mut moves: Vec<(NodeId, NodeId)> = Vec::new();
+        for v in 0..n {
+            let child = grant_pick[v];
+            grant_pick[v] = u32::MAX;
+            if child == u32::MAX {
+                continue;
+            }
+            debug_assert!(alive[v] && occupied[v]);
+            moves.push((NodeId::from(v), NodeId(child)));
+        }
+        just_received.fill(false);
+        for &(from, to) in &moves {
+            let e = g
+                .edge_between(from, to)
+                .expect("grant along an existing edge");
+            debug_assert!(!consumed[e.idx()]);
+            consumed[e.idx()] = true;
+            occupied[from.idx()] = false;
+            occupied[to.idx()] = true;
+            just_received[to.idx()] = true;
+            log.events.push(MoveEvent {
+                round: rounds,
+                from,
+                to,
+            });
+        }
+
+        // --- Termination sweep: using the alive set from the start of the
+        // round (goodbyes propagate with one round of delay in the message
+        // protocol), a node terminates if it is occupied with no remaining
+        // children or unoccupied with no remaining parents.
+        let mut dying: Vec<usize> = Vec::new();
+        for v in 0..n {
+            if !alive[v] {
+                continue;
+            }
+            let node = NodeId::from(v);
+            let terminate = if occupied[v] {
+                !game.children(node).any(|(p, c)| {
+                    !consumed[g.edge_at(node, p).idx()] && alive[c.idx()]
+                })
+            } else {
+                !game.parents(node).any(|(p, par)| {
+                    !consumed[g.edge_at(node, p).idx()] && alive[par.idx()]
+                })
+            };
+            if terminate {
+                dying.push(v);
+            }
+        }
+        for v in dying {
+            alive[v] = false;
+            alive_count -= 1;
+        }
+
+        rounds += 1;
+    }
+
+    let solution = Solution::from_moves(game, &log);
+    LockstepResult {
+        solution,
+        log,
+        rounds,
+    }
+}
+
+/// Runs the proposal algorithm with a cap derived from Theorem 4.1
+/// (a generous constant times `L · Δ² + L + Δ + 1`).
+pub fn run(game: &TokenGame) -> LockstepResult {
+    let l = game.height() as u64;
+    let d = game.max_degree() as u64;
+    let cap = 8 * (l * d * d + l + d + 8);
+    run_with_cap(game, cap.min(u32::MAX as u64) as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::{verify_dynamics, verify_solution};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use td_graph::CsrGraph;
+
+    #[test]
+    fn solves_single_path() {
+        let g = CsrGraph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let game = TokenGame::new(g, vec![0, 1, 2], vec![false, false, true]).unwrap();
+        let res = run(&game);
+        verify_solution(&game, &res.solution).unwrap();
+        verify_dynamics(&game, &res.log).unwrap();
+        assert_eq!(res.solution.traversals[0].path, vec![NodeId(2), NodeId(1), NodeId(0)]);
+    }
+
+    #[test]
+    fn solves_figure2() {
+        let game = TokenGame::figure2();
+        let res = run(&game);
+        verify_solution(&game, &res.solution).unwrap();
+        verify_dynamics(&game, &res.log).unwrap();
+        assert_eq!(res.solution.traversals.len(), 6);
+    }
+
+    #[test]
+    fn empty_game_terminates_immediately() {
+        let g = CsrGraph::from_edges(0, &[]).unwrap();
+        let game = TokenGame::new(g, vec![], vec![]).unwrap();
+        let res = run(&game);
+        assert_eq!(res.rounds, 0);
+        assert!(res.log.is_empty());
+    }
+
+    #[test]
+    fn no_tokens_terminates_fast() {
+        let g = CsrGraph::from_edges(2, &[(0, 1)]).unwrap();
+        let game = TokenGame::new(g, vec![0, 1], vec![false, false]).unwrap();
+        let res = run(&game);
+        verify_solution(&game, &res.solution).unwrap();
+        assert!(res.log.is_empty());
+        // v1 (unoccupied, level 1): waits for nothing? v1 has no parents ->
+        // terminates round 0. v0 has one parent v1, which dies in round 0;
+        // v0 sees it gone next round.
+        assert!(res.rounds <= 2);
+    }
+
+    #[test]
+    fn full_bottom_blocks_tokens() {
+        // Level-0 nodes all occupied: nothing can move, game ends quickly.
+        let g = CsrGraph::from_edges(4, &[(2, 0), (2, 1), (3, 0), (3, 1)]).unwrap();
+        let game = TokenGame::new(g, vec![0, 0, 1, 1], vec![true, true, true, true]).unwrap();
+        let res = run(&game);
+        verify_solution(&game, &res.solution).unwrap();
+        assert!(res.log.is_empty());
+        assert_eq!(res.solution.traversals.len(), 4);
+    }
+
+    #[test]
+    fn contention_resolved_uniquely() {
+        // Two level-1 tokens over a single level-0 slot: only one descends.
+        let g = CsrGraph::from_edges(3, &[(1, 0), (2, 0)]).unwrap();
+        let game = TokenGame::new(g, vec![0, 1, 1], vec![false, true, true]).unwrap();
+        let res = run(&game);
+        verify_solution(&game, &res.solution).unwrap();
+        verify_dynamics(&game, &res.log).unwrap();
+        assert_eq!(res.log.len(), 1);
+        // Smallest-id occupied parent is v1.
+        assert_eq!(res.log.events[0].from, NodeId(1));
+    }
+
+    #[test]
+    fn random_games_all_valid() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for trial in 0..30 {
+            let widths = [8, 8, 8, 8];
+            let game = TokenGame::random(&widths, 3, 0.45, &mut rng);
+            let res = run(&game);
+            verify_solution(&game, &res.solution)
+                .unwrap_or_else(|e| panic!("trial {trial}: {e}"));
+            verify_dynamics(&game, &res.log).unwrap_or_else(|e| panic!("trial {trial}: {e}"));
+        }
+    }
+
+    #[test]
+    fn round_bound_theorem_4_1() {
+        // Measured rounds stay within a small constant of L·Δ² across a
+        // spread of random instances (Theorem 4.1 shape check).
+        let mut rng = SmallRng::seed_from_u64(8);
+        for &(w, levels, deg) in &[(10usize, 3usize, 2usize), (12, 5, 3), (20, 4, 4)] {
+            let widths = vec![w; levels];
+            let game = TokenGame::random(&widths, deg, 0.5, &mut rng);
+            let l = game.height() as u64;
+            let d = game.max_degree() as u64;
+            let res = run(&game);
+            assert!(
+                (res.rounds as u64) <= 2 * l * d * d + l + d + 4,
+                "rounds {} vs L={l}, Δ={d}",
+                res.rounds
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let game = TokenGame::random(&[10, 10, 10], 3, 0.5, &mut rng);
+        let a = run(&game);
+        let b = run(&game);
+        assert_eq!(a.log, b.log);
+        assert_eq!(a.rounds, b.rounds);
+    }
+}

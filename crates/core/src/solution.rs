@@ -1,0 +1,342 @@
+//! Solutions of the token dropping game: traversals, move logs, tails and
+//! extended traversals (Definition 4.3 / Figure 3).
+
+use crate::game::TokenGame;
+use std::collections::HashMap;
+use td_graph::NodeId;
+
+/// One token movement: during `round`, the token at `from` moved to `to`
+/// (one level down). Rounds are the *game* rounds of the producing engine;
+/// the centralized greedy baseline uses its step index.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MoveEvent {
+    /// Round (or sequential step) in which the move happened.
+    pub round: u32,
+    /// Source node (one level above `to`).
+    pub from: NodeId,
+    /// Destination node.
+    pub to: NodeId,
+}
+
+/// A chronologically sorted list of move events. Within one round, sources
+/// and destinations are pairwise distinct (no node both sends and receives a
+/// token in the same round — all our engines guarantee this and
+/// [`crate::verify::verify_dynamics`] checks it).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MoveLog {
+    /// The events, sorted by `round` (ties arbitrary within a round).
+    pub events: Vec<MoveEvent>,
+}
+
+impl MoveLog {
+    /// Total number of token moves (= number of consumed edges).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if no token ever moved.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// The traversal of one token: the node sequence from its initial position
+/// to its final position. A token that never moves has a singleton path.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Traversal {
+    /// `path[0]` is the token's initial node; `path.last()` its destination.
+    /// Consecutive nodes are joined by an edge going one level down.
+    pub path: Vec<NodeId>,
+}
+
+impl Traversal {
+    /// The token's initial node.
+    pub fn origin(&self) -> NodeId {
+        self.path[0]
+    }
+
+    /// The token's final node.
+    pub fn destination(&self) -> NodeId {
+        *self.path.last().unwrap()
+    }
+
+    /// Number of edges traversed (0 for a token that stayed put).
+    pub fn hops(&self) -> usize {
+        self.path.len() - 1
+    }
+}
+
+/// A full solution: one traversal per initial token, sorted by origin id.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Solution {
+    /// One traversal per token.
+    pub traversals: Vec<Traversal>,
+}
+
+impl Solution {
+    /// Reconstructs per-token traversals from a move log, given the instance
+    /// (for the initial token placement).
+    ///
+    /// Moves within a round are applied against the occupancy *before* the
+    /// round, which is well-defined because sources and destinations within
+    /// a round are disjoint (asserted).
+    pub fn from_moves(game: &TokenGame, log: &MoveLog) -> Self {
+        let n = game.num_nodes();
+        // token_at[v] = index of the token currently on v, or usize::MAX.
+        let mut token_at = vec![usize::MAX; n];
+        let mut traversals: Vec<Traversal> = Vec::new();
+        for v in game.graph().nodes() {
+            if game.has_token(v) {
+                token_at[v.idx()] = traversals.len();
+                traversals.push(Traversal { path: vec![v] });
+            }
+        }
+        let mut i = 0;
+        while i < self::round_end(log, i) {
+            let end = self::round_end(log, i);
+            let batch = &log.events[i..end];
+            // Validate the in-round disjointness this reconstruction relies on.
+            debug_assert!(
+                {
+                    let mut nodes: Vec<u32> =
+                        batch.iter().flat_map(|e| [e.from.0, e.to.0]).collect();
+                    nodes.sort_unstable();
+                    nodes.windows(2).all(|w| w[0] != w[1])
+                },
+                "sources/destinations within a round must be disjoint"
+            );
+            // Read phase: who moves where (based on pre-round occupancy).
+            let moves: Vec<(usize, NodeId)> = batch
+                .iter()
+                .map(|e| {
+                    let t = token_at[e.from.idx()];
+                    assert!(t != usize::MAX, "move from token-free node {}", e.from);
+                    assert!(
+                        token_at[e.to.idx()] == usize::MAX,
+                        "move into occupied node {}",
+                        e.to
+                    );
+                    (t, e.to)
+                })
+                .collect();
+            // Write phase.
+            for (k, e) in batch.iter().enumerate() {
+                token_at[e.from.idx()] = usize::MAX;
+                let (t, to) = moves[k];
+                token_at[to.idx()] = t;
+                traversals[t].path.push(to);
+            }
+            i = end;
+        }
+        Solution { traversals }
+    }
+
+    /// Final token positions, one per traversal.
+    pub fn destinations(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.traversals.iter().map(|t| t.destination())
+    }
+
+    /// Total number of consumed edges.
+    pub fn edges_consumed(&self) -> usize {
+        self.traversals.iter().map(|t| t.hops()).sum()
+    }
+
+    /// The **tail** of each traversal per Definition 4.3, computed from the
+    /// move log: the tail of traversal `p = (v1..vd)` is the longest path
+    /// `(vd, ..., vh)` such that each `vi` (for `i < h`) passed at least one
+    /// token down and the *last* token it passed went to `v_{i+1}`.
+    ///
+    /// Returns, for each traversal (same order as `self.traversals`), the
+    /// tail node sequence starting at the destination.
+    pub fn tails(&self, log: &MoveLog) -> Vec<Vec<NodeId>> {
+        // last_pass[v] = destination of the last token v passed down.
+        let mut last_pass: HashMap<NodeId, NodeId> = HashMap::new();
+        for e in &log.events {
+            last_pass.insert(e.from, e.to); // events are chronological
+        }
+        self.traversals
+            .iter()
+            .map(|t| {
+                let mut tail = vec![t.destination()];
+                let mut cur = t.destination();
+                while let Some(&next) = last_pass.get(&cur) {
+                    tail.push(next);
+                    cur = next;
+                }
+                tail
+            })
+            .collect()
+    }
+
+    /// Extended traversals `p* = (v1, ..., vd, ..., vh)` (Definition 4.3):
+    /// the traversal concatenated with its tail (the destination appearing
+    /// once).
+    pub fn extended_traversals(&self, log: &MoveLog) -> Vec<Vec<NodeId>> {
+        self.tails(log)
+            .into_iter()
+            .zip(&self.traversals)
+            .map(|(tail, t)| {
+                let mut ext = t.path.clone();
+                ext.extend_from_slice(&tail[1..]);
+                ext
+            })
+            .collect()
+    }
+}
+
+/// End index (exclusive) of the round batch starting at `i`.
+fn round_end(log: &MoveLog, i: usize) -> usize {
+    if i >= log.events.len() {
+        return i;
+    }
+    let r = log.events[i].round;
+    let mut j = i + 1;
+    while j < log.events.len() && log.events[j].round == r {
+        j += 1;
+    }
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use td_graph::CsrGraph;
+
+    /// A 3-level path: v2 (level 2, token) - v1 (level 1) - v0 (level 0).
+    fn path_game() -> TokenGame {
+        let g = CsrGraph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        TokenGame::new(g, vec![0, 1, 2], vec![false, false, true]).unwrap()
+    }
+
+    #[test]
+    fn reconstruct_two_hop_traversal() {
+        let game = path_game();
+        let log = MoveLog {
+            events: vec![
+                MoveEvent {
+                    round: 0,
+                    from: NodeId(2),
+                    to: NodeId(1),
+                },
+                MoveEvent {
+                    round: 1,
+                    from: NodeId(1),
+                    to: NodeId(0),
+                },
+            ],
+        };
+        let sol = Solution::from_moves(&game, &log);
+        assert_eq!(sol.traversals.len(), 1);
+        assert_eq!(sol.traversals[0].path, vec![NodeId(2), NodeId(1), NodeId(0)]);
+        assert_eq!(sol.traversals[0].hops(), 2);
+        assert_eq!(sol.edges_consumed(), 2);
+    }
+
+    #[test]
+    fn stationary_token_has_singleton_traversal() {
+        let game = path_game();
+        let sol = Solution::from_moves(&game, &MoveLog::default());
+        assert_eq!(sol.traversals.len(), 1);
+        assert_eq!(sol.traversals[0].path, vec![NodeId(2)]);
+        assert_eq!(sol.traversals[0].hops(), 0);
+        assert_eq!(sol.traversals[0].origin(), sol.traversals[0].destination());
+    }
+
+    #[test]
+    #[should_panic(expected = "move from token-free node")]
+    fn reconstruct_rejects_bogus_move() {
+        let game = path_game();
+        let log = MoveLog {
+            events: vec![MoveEvent {
+                round: 0,
+                from: NodeId(1),
+                to: NodeId(0),
+            }],
+        };
+        let _ = Solution::from_moves(&game, &log);
+    }
+
+    /// Two stacked tokens on a path graph: v3(l3,tok) - v2(l2,tok) - v1(l1) - v0(l0).
+    fn stacked_game() -> TokenGame {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        TokenGame::new(g, vec![0, 1, 2, 3], vec![false, false, true, true]).unwrap()
+    }
+
+    #[test]
+    fn simultaneous_moves_in_one_round() {
+        let game = stacked_game();
+        // Round 0: token at v2 -> v1 and token at v3 -> ... v3 can't move to
+        // v2 in the same round (v2 occupied pre-round). Sources/dests
+        // disjoint: v2->v1 only. Round 1: v3 -> v2 and v1 -> v0 concurrently.
+        let log = MoveLog {
+            events: vec![
+                MoveEvent {
+                    round: 0,
+                    from: NodeId(2),
+                    to: NodeId(1),
+                },
+                MoveEvent {
+                    round: 1,
+                    from: NodeId(3),
+                    to: NodeId(2),
+                },
+                MoveEvent {
+                    round: 1,
+                    from: NodeId(1),
+                    to: NodeId(0),
+                },
+            ],
+        };
+        let sol = Solution::from_moves(&game, &log);
+        let paths: Vec<&Vec<NodeId>> = sol.traversals.iter().map(|t| &t.path).collect();
+        assert!(paths.contains(&&vec![NodeId(2), NodeId(1), NodeId(0)]));
+        assert!(paths.contains(&&vec![NodeId(3), NodeId(2)]));
+    }
+
+    #[test]
+    fn tails_follow_last_pass() {
+        let game = stacked_game();
+        let log = MoveLog {
+            events: vec![
+                MoveEvent {
+                    round: 0,
+                    from: NodeId(2),
+                    to: NodeId(1),
+                },
+                MoveEvent {
+                    round: 1,
+                    from: NodeId(3),
+                    to: NodeId(2),
+                },
+                MoveEvent {
+                    round: 1,
+                    from: NodeId(1),
+                    to: NodeId(0),
+                },
+            ],
+        };
+        let sol = Solution::from_moves(&game, &log);
+        let tails = sol.tails(&log);
+        let exts = sol.extended_traversals(&log);
+        for (t, tail) in sol.traversals.iter().zip(&tails) {
+            assert_eq!(tail[0], t.destination());
+        }
+        // Token A: 2 -> 1 -> 0, destination v0. v0 passed nothing: tail = [v0].
+        // Token B: 3 -> 2, destination v2; v2's last pass went to v1; v1's
+        // last pass went to v0; v0 passed nothing. Tail = [v2, v1, v0].
+        let a = sol
+            .traversals
+            .iter()
+            .position(|t| t.origin() == NodeId(2))
+            .unwrap();
+        let b = sol
+            .traversals
+            .iter()
+            .position(|t| t.origin() == NodeId(3))
+            .unwrap();
+        assert_eq!(tails[a], vec![NodeId(0)]);
+        assert_eq!(tails[b], vec![NodeId(2), NodeId(1), NodeId(0)]);
+        assert_eq!(exts[a], vec![NodeId(2), NodeId(1), NodeId(0)]);
+        assert_eq!(exts[b], vec![NodeId(3), NodeId(2), NodeId(1), NodeId(0)]);
+    }
+}

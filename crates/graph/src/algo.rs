@@ -1,0 +1,235 @@
+//! Classic graph algorithms needed by the reproduction: BFS, connected
+//! components, girth, and eccentricity-style helpers.
+//!
+//! These run on the host (they are *not* distributed algorithms); they are
+//! used by generators (e.g. girth maintenance), verifiers, and experiments
+//! (e.g. checking that a lower-bound instance really has the promised girth).
+
+use crate::csr::CsrGraph;
+use crate::ids::NodeId;
+use std::collections::VecDeque;
+
+/// Distance label meaning "unreached".
+pub const UNREACHED: u32 = u32::MAX;
+
+/// BFS distances from `source`; `UNREACHED` for unreachable nodes.
+pub fn bfs_distances(g: &CsrGraph, source: NodeId) -> Vec<u32> {
+    let mut dist = vec![UNREACHED; g.num_nodes()];
+    let mut queue = VecDeque::new();
+    dist[source.idx()] = 0;
+    queue.push_back(source.0);
+    while let Some(v) = queue.pop_front() {
+        let dv = dist[v as usize];
+        for &u in g.neighbors(NodeId(v)) {
+            if dist[u as usize] == UNREACHED {
+                dist[u as usize] = dv + 1;
+                queue.push_back(u);
+            }
+        }
+    }
+    dist
+}
+
+/// BFS distances from `source`, stopping once distance `cap` is exceeded
+/// (nodes farther than `cap` stay `UNREACHED`). Used for girth maintenance
+/// where only a bounded radius matters.
+pub fn bfs_distances_capped(g: &CsrGraph, source: NodeId, cap: u32) -> Vec<u32> {
+    let mut dist = vec![UNREACHED; g.num_nodes()];
+    let mut queue = VecDeque::new();
+    dist[source.idx()] = 0;
+    queue.push_back(source.0);
+    while let Some(v) = queue.pop_front() {
+        let dv = dist[v as usize];
+        if dv == cap {
+            continue;
+        }
+        for &u in g.neighbors(NodeId(v)) {
+            if dist[u as usize] == UNREACHED {
+                dist[u as usize] = dv + 1;
+                queue.push_back(u);
+            }
+        }
+    }
+    dist
+}
+
+/// Connected components: returns `(component_id_per_node, component_count)`.
+/// Component ids are assigned in order of smallest contained node id.
+pub fn connected_components(g: &CsrGraph) -> (Vec<u32>, usize) {
+    let n = g.num_nodes();
+    let mut comp = vec![UNREACHED; n];
+    let mut next = 0u32;
+    let mut queue = VecDeque::new();
+    for s in 0..n {
+        if comp[s] != UNREACHED {
+            continue;
+        }
+        comp[s] = next;
+        queue.push_back(s as u32);
+        while let Some(v) = queue.pop_front() {
+            for &u in g.neighbors(NodeId(v)) {
+                if comp[u as usize] == UNREACHED {
+                    comp[u as usize] = next;
+                    queue.push_back(u);
+                }
+            }
+        }
+        next += 1;
+    }
+    (comp, next as usize)
+}
+
+/// True if the graph is connected (vacuously true for `n <= 1`).
+pub fn is_connected(g: &CsrGraph) -> bool {
+    g.num_nodes() <= 1 || connected_components(g).1 == 1
+}
+
+/// Length of the shortest cycle, or `None` for forests.
+///
+/// Runs a BFS from every node tracking parent edges, in O(n·m). For each BFS,
+/// the first non-tree edge closing two fronts gives a candidate cycle length;
+/// the minimum over all roots is exact (standard girth-via-BFS argument).
+pub fn girth(g: &CsrGraph) -> Option<usize> {
+    let n = g.num_nodes();
+    let mut best: u32 = u32::MAX;
+    let mut dist = vec![UNREACHED; n];
+    let mut parent_edge = vec![u32::MAX; n];
+    let mut touched: Vec<u32> = Vec::new();
+    let mut queue: VecDeque<u32> = VecDeque::new();
+
+    for s in 0..n as u32 {
+        // Reset only what the previous BFS touched.
+        for &v in &touched {
+            dist[v as usize] = UNREACHED;
+            parent_edge[v as usize] = u32::MAX;
+        }
+        touched.clear();
+        queue.clear();
+
+        dist[s as usize] = 0;
+        touched.push(s);
+        queue.push_back(s);
+        while let Some(v) = queue.pop_front() {
+            let dv = dist[v as usize];
+            // A cycle through the root cannot be shorter than 2*dv + 1;
+            // once that exceeds the best found, this BFS cannot improve it.
+            if 2 * dv + 1 >= best {
+                break;
+            }
+            let lo = g.node_offset(NodeId(v));
+            for (k, &u) in g.neighbors(NodeId(v)).iter().enumerate() {
+                let eid = g.edge_at(NodeId(v), crate::ids::Port::from(k)).0;
+                if eid == parent_edge[v as usize] {
+                    continue;
+                }
+                let du = dist[u as usize];
+                if du == UNREACHED {
+                    dist[u as usize] = dv + 1;
+                    parent_edge[u as usize] = eid;
+                    touched.push(u);
+                    queue.push_back(u);
+                } else {
+                    // Non-tree edge: cycle through root of length dv + du + 1.
+                    best = best.min(dv + du + 1);
+                }
+                let _ = lo;
+            }
+        }
+    }
+    if best == u32::MAX {
+        None
+    } else {
+        Some(best as usize)
+    }
+}
+
+/// The diameter of a connected graph (max BFS eccentricity); `None` if the
+/// graph is disconnected or empty.
+pub fn diameter(g: &CsrGraph) -> Option<usize> {
+    if g.num_nodes() == 0 || !is_connected(g) {
+        return None;
+    }
+    let mut best = 0u32;
+    for s in g.nodes() {
+        let d = bfs_distances(g, s);
+        best = best.max(d.into_iter().max().unwrap());
+    }
+    Some(best as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bfs_on_path() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        assert_eq!(bfs_distances(&g, NodeId(0)), vec![0, 1, 2, 3]);
+        assert_eq!(bfs_distances(&g, NodeId(2)), vec![2, 1, 0, 1]);
+    }
+
+    #[test]
+    fn bfs_capped_stops() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let d = bfs_distances_capped(&g, NodeId(0), 1);
+        assert_eq!(d, vec![0, 1, UNREACHED, UNREACHED]);
+    }
+
+    #[test]
+    fn components_counts() {
+        let g = CsrGraph::from_edges(5, &[(0, 1), (2, 3)]).unwrap();
+        let (comp, k) = connected_components(&g);
+        assert_eq!(k, 3);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[2], comp[3]);
+        assert_ne!(comp[0], comp[2]);
+        assert_ne!(comp[4], comp[0]);
+        assert!(!is_connected(&g));
+    }
+
+    #[test]
+    fn girth_of_cycles_and_trees() {
+        let c5 = CsrGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]).unwrap();
+        assert_eq!(girth(&c5), Some(5));
+        let tree = CsrGraph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]).unwrap();
+        assert_eq!(girth(&tree), None);
+        let k4 =
+            CsrGraph::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]).unwrap();
+        assert_eq!(girth(&k4), Some(3));
+    }
+
+    #[test]
+    fn girth_even_cycle_with_chord() {
+        // C6 plus a chord splitting it into a C4 and a C4.
+        let g =
+            CsrGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3)])
+                .unwrap();
+        assert_eq!(girth(&g), Some(4));
+    }
+
+    #[test]
+    fn diameter_of_path_and_cycle() {
+        let p = CsrGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
+        assert_eq!(diameter(&p), Some(4));
+        let c6 = CsrGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)])
+            .unwrap();
+        assert_eq!(diameter(&c6), Some(3));
+        let disc = CsrGraph::from_edges(3, &[(0, 1)]).unwrap();
+        assert_eq!(diameter(&disc), None);
+    }
+
+    #[test]
+    fn petersen_girth_is_5() {
+        // Petersen graph: outer C5, inner 5-star polygon, spokes.
+        let mut edges = Vec::new();
+        for i in 0u32..5 {
+            edges.push((i, (i + 1) % 5)); // outer cycle
+            edges.push((5 + i, 5 + (i + 2) % 5)); // inner pentagram
+            edges.push((i, 5 + i)); // spokes
+        }
+        let g = CsrGraph::from_edges(10, &edges).unwrap();
+        assert_eq!(g.max_degree(), 3);
+        assert_eq!(girth(&g), Some(5));
+        assert_eq!(diameter(&g), Some(2));
+    }
+}

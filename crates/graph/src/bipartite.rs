@@ -1,0 +1,133 @@
+//! Bipartition detection and customer/server views.
+//!
+//! Stable assignment instances (paper Section 7) are bipartite graphs with
+//! *customers* on one side and *servers* on the other. This module provides a
+//! 2-coloring routine and a [`Bipartition`] record used by `td-assign` to
+//! interpret an arbitrary bipartite [`CsrGraph`] as an assignment instance.
+
+use crate::algo::UNREACHED;
+use crate::csr::CsrGraph;
+use crate::ids::NodeId;
+use std::collections::VecDeque;
+
+/// A 2-coloring of a bipartite graph: `side[v]` is 0 or 1, and every edge
+/// joins opposite sides.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Bipartition {
+    /// 0/1 side assignment per node (isolated nodes get side 0).
+    pub side: Vec<u8>,
+}
+
+impl Bipartition {
+    /// All nodes on side 0.
+    pub fn left(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.side
+            .iter()
+            .enumerate()
+            .filter(|(_, &s)| s == 0)
+            .map(|(i, _)| NodeId::from(i))
+    }
+
+    /// All nodes on side 1.
+    pub fn right(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.side
+            .iter()
+            .enumerate()
+            .filter(|(_, &s)| s == 1)
+            .map(|(i, _)| NodeId::from(i))
+    }
+
+    /// Number of nodes on side 0.
+    pub fn left_count(&self) -> usize {
+        self.side.iter().filter(|&&s| s == 0).count()
+    }
+
+    /// Number of nodes on side 1.
+    pub fn right_count(&self) -> usize {
+        self.side.len() - self.left_count()
+    }
+
+    /// Verifies this is a proper 2-coloring of `g`.
+    pub fn verify(&self, g: &CsrGraph) -> bool {
+        self.side.len() == g.num_nodes()
+            && g.edge_list()
+                .all(|(_, u, v)| self.side[u.idx()] != self.side[v.idx()])
+    }
+}
+
+/// Computes a bipartition by BFS 2-coloring, or `None` if the graph has an
+/// odd cycle. Each connected component's side-0 is the side containing its
+/// smallest node id, so the result is deterministic.
+pub fn bipartition(g: &CsrGraph) -> Option<Bipartition> {
+    let n = g.num_nodes();
+    let mut color = vec![UNREACHED; n];
+    let mut queue = VecDeque::new();
+    for s in 0..n {
+        if color[s] != UNREACHED {
+            continue;
+        }
+        color[s] = 0;
+        queue.push_back(s as u32);
+        while let Some(v) = queue.pop_front() {
+            let cv = color[v as usize];
+            for &u in g.neighbors(NodeId(v)) {
+                if color[u as usize] == UNREACHED {
+                    color[u as usize] = 1 - cv;
+                    queue.push_back(u);
+                } else if color[u as usize] == cv {
+                    return None;
+                }
+            }
+        }
+    }
+    Some(Bipartition {
+        side: color.into_iter().map(|c| c as u8).collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_cycle_is_bipartite() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        let b = bipartition(&g).unwrap();
+        assert!(b.verify(&g));
+        assert_eq!(b.left_count(), 2);
+        assert_eq!(b.right_count(), 2);
+    }
+
+    #[test]
+    fn odd_cycle_is_not() {
+        let g = CsrGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]).unwrap();
+        assert!(bipartition(&g).is_none());
+    }
+
+    #[test]
+    fn isolated_nodes_default_left() {
+        let g = CsrGraph::from_edges(3, &[(1, 2)]).unwrap();
+        let b = bipartition(&g).unwrap();
+        assert_eq!(b.side[0], 0);
+        assert!(b.verify(&g));
+    }
+
+    #[test]
+    fn verify_rejects_bad_coloring() {
+        let g = CsrGraph::from_edges(2, &[(0, 1)]).unwrap();
+        let bad = Bipartition { side: vec![0, 0] };
+        assert!(!bad.verify(&g));
+        let wrong_len = Bipartition { side: vec![0] };
+        assert!(!wrong_len.verify(&g));
+    }
+
+    #[test]
+    fn left_right_iterators() {
+        let g = CsrGraph::from_edges(4, &[(0, 2), (0, 3), (1, 2)]).unwrap();
+        let b = bipartition(&g).unwrap();
+        let left: Vec<_> = b.left().collect();
+        let right: Vec<_> = b.right().collect();
+        assert_eq!(left.len() + right.len(), 4);
+        assert!(b.verify(&g));
+    }
+}

@@ -1,0 +1,346 @@
+//! Compressed-sparse-row storage for simple undirected graphs.
+//!
+//! The CSR layout keeps all adjacency data in three flat arrays, which is the
+//! cache-friendly layout of choice for graph kernels. On top of the plain
+//! neighbor lists we store, for every incident slot:
+//!
+//! * the [`EdgeId`] of the undirected edge occupying the slot, and
+//! * the *mirror index*: the position of the reverse slot inside the CSR
+//!   arrays, so `(v, port)` can be translated to `(u, port')` in O(1).
+//!
+//! Mirrors are what let the LOCAL-model simulator route messages between the
+//! two endpoints of an edge without any hashing, and what lets protocol code
+//! mark "this undirected edge is consumed" consistently from either side.
+
+use crate::builder::{BuildError, GraphBuilder};
+use crate::ids::{EdgeId, NodeId, Port};
+
+/// A simple undirected graph in CSR form.
+///
+/// Invariants (all enforced by [`GraphBuilder`]):
+/// * no self-loops, no parallel edges;
+/// * adjacency lists are sorted by neighbor id;
+/// * `offsets.len() == n + 1`, `neighbors.len() == 2 * m`;
+/// * slot `i` holds neighbor `neighbors[i]`, undirected edge `edge_ids[i]`,
+///   and `mirror[i]` is the slot of the same edge at the other endpoint.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CsrGraph {
+    pub(crate) offsets: Vec<u32>,
+    pub(crate) neighbors: Vec<u32>,
+    pub(crate) edge_ids: Vec<u32>,
+    pub(crate) mirror: Vec<u32>,
+    /// Endpoints of each undirected edge, with `endpoints[e].0 < endpoints[e].1`.
+    pub(crate) endpoints: Vec<(u32, u32)>,
+}
+
+impl CsrGraph {
+    /// Builds a graph from an edge list over nodes `0..n`.
+    ///
+    /// Fails on self-loops, duplicate edges, or endpoints `>= n`.
+    pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Result<Self, BuildError> {
+        let mut b = GraphBuilder::new(n);
+        for &(u, v) in edges {
+            b.add_edge(NodeId(u), NodeId(v))?;
+        }
+        b.build()
+    }
+
+    /// Number of nodes `n`.
+    #[inline(always)]
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges `m`.
+    #[inline(always)]
+    pub fn num_edges(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// Degree of node `v`.
+    #[inline(always)]
+    pub fn degree(&self, v: NodeId) -> usize {
+        (self.offsets[v.idx() + 1] - self.offsets[v.idx()]) as usize
+    }
+
+    /// Maximum degree Δ of the graph (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_nodes())
+            .map(|v| self.degree(NodeId::from(v)))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Histogram of degrees: `hist[d]` = number of nodes with degree `d`.
+    pub fn degree_histogram(&self) -> Vec<usize> {
+        let mut hist = vec![0usize; self.max_degree() + 1];
+        for v in 0..self.num_nodes() {
+            hist[self.degree(NodeId::from(v))] += 1;
+        }
+        hist
+    }
+
+    /// The sorted neighbor list of `v`.
+    #[inline(always)]
+    pub fn neighbors(&self, v: NodeId) -> &[u32] {
+        let lo = self.offsets[v.idx()] as usize;
+        let hi = self.offsets[v.idx() + 1] as usize;
+        &self.neighbors[lo..hi]
+    }
+
+    /// Iterator over neighbors of `v` as [`NodeId`]s.
+    pub fn neighbor_ids(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.neighbors(v).iter().map(|&u| NodeId(u))
+    }
+
+    /// The neighbor reached from `v` through local port `p`.
+    #[inline(always)]
+    pub fn neighbor_at(&self, v: NodeId, p: Port) -> NodeId {
+        NodeId(self.neighbors[self.slot(v, p)])
+    }
+
+    /// The undirected edge incident to `v` at local port `p`.
+    #[inline(always)]
+    pub fn edge_at(&self, v: NodeId, p: Port) -> EdgeId {
+        EdgeId(self.edge_ids[self.slot(v, p)])
+    }
+
+    /// Flat slot index of `(v, p)` into the CSR arrays.
+    #[inline(always)]
+    pub fn slot(&self, v: NodeId, p: Port) -> usize {
+        debug_assert!(p.idx() < self.degree(v), "port {p} out of range at {v}");
+        self.offsets[v.idx()] as usize + p.idx()
+    }
+
+    /// Given the flat slot of `(v, p)`, the flat slot of the same edge at the
+    /// other endpoint. `mirror(mirror(s)) == s`.
+    #[inline(always)]
+    pub fn mirror_slot(&self, slot: usize) -> usize {
+        self.mirror[slot] as usize
+    }
+
+    /// Translates `(v, p)` into the mirrored `(u, p')` pair at the other
+    /// endpoint of the edge on port `p`.
+    pub fn mirror(&self, v: NodeId, p: Port) -> (NodeId, Port) {
+        let s = self.slot(v, p);
+        let ms = self.mirror_slot(s);
+        let u = NodeId(self.neighbors[s]);
+        let p2 = Port((ms - self.offsets[u.idx()] as usize) as u32);
+        (u, p2)
+    }
+
+    /// Endpoints `(u, v)` of edge `e` with `u < v`.
+    #[inline(always)]
+    pub fn endpoints(&self, e: EdgeId) -> (NodeId, NodeId) {
+        let (a, b) = self.endpoints[e.idx()];
+        (NodeId(a), NodeId(b))
+    }
+
+    /// The endpoint of edge `e` that is not `v`.
+    ///
+    /// # Panics
+    /// If `v` is not an endpoint of `e` (debug builds only).
+    #[inline(always)]
+    pub fn other_endpoint(&self, e: EdgeId, v: NodeId) -> NodeId {
+        let (a, b) = self.endpoints[e.idx()];
+        debug_assert!(v.0 == a || v.0 == b, "{v} is not an endpoint of {e}");
+        NodeId(a ^ b ^ v.0)
+    }
+
+    /// The local port of edge `e` at node `v`, found by binary search over the
+    /// sorted adjacency list (O(log deg)).
+    pub fn port_of(&self, v: NodeId, e: EdgeId) -> Option<Port> {
+        let u = self.other_endpoint(e, v);
+        let nbrs = self.neighbors(v);
+        let i = nbrs.binary_search(&u.0).ok()?;
+        // Simple graph: neighbor uniquely identifies the edge.
+        debug_assert_eq!(self.edge_ids[self.offsets[v.idx()] as usize + i], e.0);
+        Some(Port(i as u32))
+    }
+
+    /// Iterator over all node ids `0..n`.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.num_nodes() as u32).map(NodeId)
+    }
+
+    /// Iterator over all edge ids `0..m`.
+    pub fn edges(&self) -> impl Iterator<Item = EdgeId> {
+        (0..self.num_edges() as u32).map(EdgeId)
+    }
+
+    /// Iterator over `(EdgeId, u, v)` triples.
+    pub fn edge_list(&self) -> impl Iterator<Item = (EdgeId, NodeId, NodeId)> + '_ {
+        self.endpoints
+            .iter()
+            .enumerate()
+            .map(|(i, &(a, b))| (EdgeId(i as u32), NodeId(a), NodeId(b)))
+    }
+
+    /// True if `{u, v}` is an edge (O(log deg)).
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        if u == v {
+            return false;
+        }
+        let (s, t) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.neighbors(s).binary_search(&t.0).is_ok()
+    }
+
+    /// The id of the edge `{u, v}` if present (O(log deg)).
+    pub fn edge_between(&self, u: NodeId, v: NodeId) -> Option<EdgeId> {
+        if u == v {
+            return None;
+        }
+        let i = self.neighbors(u).binary_search(&v.0).ok()?;
+        Some(EdgeId(self.edge_ids[self.offsets[u.idx()] as usize + i]))
+    }
+
+    /// Total number of directed slots (`2 m`); the size of per-slot arrays such
+    /// as simulator mailboxes.
+    #[inline(always)]
+    pub fn num_slots(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// The CSR offset of node `v`'s first slot. Exposed for engines that index
+    /// per-slot state directly.
+    #[inline(always)]
+    pub fn node_offset(&self, v: NodeId) -> usize {
+        self.offsets[v.idx()] as usize
+    }
+
+    /// Checks all internal invariants; used by tests and the builder.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.num_nodes();
+        let m = self.num_edges();
+        if self.neighbors.len() != 2 * m
+            || self.edge_ids.len() != 2 * m
+            || self.mirror.len() != 2 * m
+        {
+            return Err("array length mismatch".into());
+        }
+        if *self.offsets.last().unwrap() as usize != 2 * m {
+            return Err("offset tail mismatch".into());
+        }
+        for v in 0..n {
+            let nbrs = self.neighbors(NodeId::from(v));
+            for w in nbrs.windows(2) {
+                if w[0] >= w[1] {
+                    return Err(format!("adjacency of v{v} not strictly sorted"));
+                }
+            }
+            for (p, &u) in nbrs.iter().enumerate() {
+                if u as usize >= n {
+                    return Err(format!("neighbor out of range at v{v}"));
+                }
+                let s = self.slot(NodeId::from(v), Port::from(p));
+                let ms = self.mirror_slot(s);
+                if self.mirror_slot(ms) != s {
+                    return Err(format!("mirror not involutive at slot {s}"));
+                }
+                if self.neighbors[ms] != v as u32 {
+                    return Err(format!("mirror slot {ms} does not point back to v{v}"));
+                }
+                if self.edge_ids[ms] != self.edge_ids[s] {
+                    return Err(format!("edge id mismatch across mirror at slot {s}"));
+                }
+                let e = self.edge_ids[s] as usize;
+                if e >= m {
+                    return Err(format!("edge id out of range at slot {s}"));
+                }
+                let (a, b) = self.endpoints[e];
+                let (x, y) = if (v as u32) < u { (v as u32, u) } else { (u, v as u32) };
+                if (a, b) != (x, y) {
+                    return Err(format!("endpoints of e{e} disagree with slot {s}"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k4() -> CsrGraph {
+        CsrGraph::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]).unwrap()
+    }
+
+    #[test]
+    fn basic_counts() {
+        let g = k4();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 6);
+        assert_eq!(g.num_slots(), 12);
+        assert_eq!(g.max_degree(), 3);
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 3);
+        }
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn neighbors_sorted() {
+        let g = CsrGraph::from_edges(5, &[(3, 1), (3, 0), (3, 4), (3, 2)]).unwrap();
+        assert_eq!(g.neighbors(NodeId(3)), &[0, 1, 2, 4]);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn mirror_roundtrip() {
+        let g = k4();
+        for v in g.nodes() {
+            for p in 0..g.degree(v) {
+                let p = Port::from(p);
+                let (u, q) = g.mirror(v, p);
+                let (v2, p2) = g.mirror(u, q);
+                assert_eq!((v2, p2), (v, p));
+                assert_eq!(g.neighbor_at(v, p), u);
+                assert_eq!(g.neighbor_at(u, q), v);
+                assert_eq!(g.edge_at(v, p), g.edge_at(u, q));
+            }
+        }
+    }
+
+    #[test]
+    fn endpoints_and_other() {
+        let g = k4();
+        for (e, u, v) in g.edge_list() {
+            assert!(u < v);
+            assert_eq!(g.other_endpoint(e, u), v);
+            assert_eq!(g.other_endpoint(e, v), u);
+            assert_eq!(g.port_of(u, e).map(|p| g.edge_at(u, p)), Some(e));
+            assert_eq!(g.port_of(v, e).map(|p| g.edge_at(v, p)), Some(e));
+        }
+    }
+
+    #[test]
+    fn has_edge_and_edge_between() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        assert!(g.has_edge(NodeId(0), NodeId(1)));
+        assert!(g.has_edge(NodeId(1), NodeId(0)));
+        assert!(!g.has_edge(NodeId(0), NodeId(2)));
+        assert!(!g.has_edge(NodeId(1), NodeId(1)));
+        assert_eq!(g.edge_between(NodeId(2), NodeId(3)), Some(EdgeId(1)));
+        assert_eq!(g.edge_between(NodeId(0), NodeId(3)), None);
+    }
+
+    #[test]
+    fn empty_and_isolated() {
+        let g = CsrGraph::from_edges(3, &[]).unwrap();
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.degree_histogram(), vec![3]);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn degree_histogram_star() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]).unwrap();
+        assert_eq!(g.degree_histogram(), vec![0, 3, 0, 1]);
+    }
+}

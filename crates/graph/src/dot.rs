@@ -1,0 +1,105 @@
+//! Graphviz DOT export, used by the examples to visualize small instances
+//! (token-dropping games, stable orientations) for eyeballing against the
+//! paper's Figures 1–3.
+
+use crate::csr::CsrGraph;
+use crate::ids::NodeId;
+use std::fmt::Write;
+
+/// Renders an undirected graph in DOT format. `label` may provide a custom
+/// label per node (e.g. its load or level); `None` means "use the id".
+pub fn to_dot(g: &CsrGraph, label: impl Fn(NodeId) -> Option<String>) -> String {
+    let mut out = String::new();
+    out.push_str("graph G {\n");
+    for v in g.nodes() {
+        match label(v) {
+            Some(l) => {
+                let _ = writeln!(out, "  {} [label=\"{}\"];", v.0, l);
+            }
+            None => {
+                let _ = writeln!(out, "  {};", v.0);
+            }
+        }
+    }
+    for (_, u, v) in g.edge_list() {
+        let _ = writeln!(out, "  {} -- {};", u.0, v.0);
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders a graph with per-edge orientation in DOT format.
+///
+/// `direction(e)` returns `Some((tail, head))` for oriented edges and `None`
+/// for unoriented ones (drawn without an arrowhead).
+pub fn to_dot_oriented(
+    g: &CsrGraph,
+    label: impl Fn(NodeId) -> Option<String>,
+    direction: impl Fn(crate::ids::EdgeId) -> Option<(NodeId, NodeId)>,
+) -> String {
+    let mut out = String::new();
+    out.push_str("digraph G {\n");
+    for v in g.nodes() {
+        match label(v) {
+            Some(l) => {
+                let _ = writeln!(out, "  {} [label=\"{}\"];", v.0, l);
+            }
+            None => {
+                let _ = writeln!(out, "  {};", v.0);
+            }
+        }
+    }
+    for (e, u, v) in g.edge_list() {
+        match direction(e) {
+            Some((tail, head)) => {
+                let _ = writeln!(out, "  {} -> {};", tail.0, head.0);
+            }
+            None => {
+                let _ = writeln!(out, "  {} -> {} [dir=none];", u.0, v.0);
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::EdgeId;
+
+    #[test]
+    fn dot_contains_all_edges() {
+        let g = CsrGraph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let s = to_dot(&g, |_| None);
+        assert!(s.starts_with("graph G {"));
+        assert!(s.contains("0 -- 1;"));
+        assert!(s.contains("1 -- 2;"));
+    }
+
+    #[test]
+    fn dot_labels() {
+        let g = CsrGraph::from_edges(2, &[(0, 1)]).unwrap();
+        let s = to_dot(&g, |v| Some(format!("L{}", v.0)));
+        assert!(s.contains("[label=\"L0\"]"));
+        assert!(s.contains("[label=\"L1\"]"));
+    }
+
+    #[test]
+    fn oriented_dot() {
+        let g = CsrGraph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let s = to_dot_oriented(
+            &g,
+            |_| None,
+            |e| {
+                if e == EdgeId(0) {
+                    Some((NodeId(1), NodeId(0)))
+                } else {
+                    None
+                }
+            },
+        );
+        assert!(s.contains("1 -> 0;"));
+        assert!(s.contains("[dir=none]"));
+    }
+}

@@ -1,0 +1,144 @@
+//! Strongly-typed identifiers for nodes, edges, and ports.
+//!
+//! All identifiers are thin wrappers over `u32`. Graphs in this workspace are
+//! bounded by `u32::MAX` nodes/edges, which keeps hot data structures compact
+//! (see the type-size guidance in the Rust Performance Book) while being far
+//! above anything the experiments need.
+
+use std::fmt;
+
+/// Identifier of a node (vertex). Nodes of a graph with `n` nodes are always
+/// `0..n`, so a `NodeId` doubles as an index into per-node arrays.
+///
+/// In the LOCAL model the *unique identifier* of a node is exactly this value;
+/// protocols may compare identifiers (e.g. for tie-breaking) as the model
+/// permits.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The node id as a `usize` index.
+    #[inline(always)]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    #[inline(always)]
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+impl From<usize> for NodeId {
+    #[inline(always)]
+    fn from(v: usize) -> Self {
+        debug_assert!(v <= u32::MAX as usize);
+        NodeId(v as u32)
+    }
+}
+
+/// Identifier of an *undirected* edge. Edges of a graph with `m` edges are
+/// always `0..m`, so an `EdgeId` doubles as an index into per-edge arrays.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct EdgeId(pub u32);
+
+impl EdgeId {
+    /// The edge id as a `usize` index.
+    #[inline(always)]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl From<u32> for EdgeId {
+    #[inline(always)]
+    fn from(v: u32) -> Self {
+        EdgeId(v)
+    }
+}
+
+impl From<usize> for EdgeId {
+    #[inline(always)]
+    fn from(v: usize) -> Self {
+        debug_assert!(v <= u32::MAX as usize);
+        EdgeId(v as u32)
+    }
+}
+
+/// A *port* is the local index of an incident edge at a node: node `v` with
+/// degree `d` has ports `0..d`. Distributed protocols address their incident
+/// communication links through ports; the [`crate::CsrGraph::mirror`] table
+/// maps a port at one endpoint to the matching port at the other endpoint.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Port(pub u32);
+
+impl Port {
+    /// The port as a `usize` index.
+    #[inline(always)]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Port {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl From<u32> for Port {
+    #[inline(always)]
+    fn from(v: u32) -> Self {
+        Port(v)
+    }
+}
+
+impl From<usize> for Port {
+    #[inline(always)]
+    fn from(v: usize) -> Self {
+        debug_assert!(v <= u32::MAX as usize);
+        Port(v as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(NodeId(3).to_string(), "v3");
+        assert_eq!(EdgeId(7).to_string(), "e7");
+        assert_eq!(Port(0).to_string(), "p0");
+    }
+
+    #[test]
+    fn conversions_roundtrip() {
+        let v: NodeId = 5u32.into();
+        assert_eq!(v.idx(), 5);
+        let e: EdgeId = 9usize.into();
+        assert_eq!(e.idx(), 9);
+        let p: Port = 2u32.into();
+        assert_eq!(p.idx(), 2);
+    }
+
+    #[test]
+    fn ordering_follows_numeric_value() {
+        assert!(NodeId(1) < NodeId(2));
+        assert!(EdgeId(0) < EdgeId(10));
+    }
+}

@@ -1,0 +1,143 @@
+//! A shared-slice cell for provably disjoint concurrent writes.
+//!
+//! The simulator's message-delivery phase has a structural no-alias
+//! guarantee: the mailbox slot for `(receiver, port)` is written only by the
+//! unique neighbor sitting at the other end of that port, and every node is
+//! stepped by exactly one worker thread per round. Hence, within one round,
+//! **every mailbox slot has at most one writer** and no readers (reads happen
+//! on the *other* buffer of the double-buffered mailbox, separated by a
+//! barrier). [`DisjointSlots`] encapsulates the single `unsafe` needed to
+//! exploit this: plain (non-atomic) writes through a shared reference.
+//!
+//! This is the standard "disjoint index sets" pattern used in parallel graph
+//! kernels; the alternative (a mutex or atomic per slot) would put
+//! synchronization on the hot path for no semantic benefit.
+
+use std::cell::UnsafeCell;
+
+/// A fixed-size buffer allowing concurrent writes to *disjoint* indices from
+/// multiple threads, plus exclusive access for the owner.
+///
+/// # Safety contract
+///
+/// * [`DisjointSlots::write`] may be called concurrently from many threads
+///   **only if** no two calls in the same synchronization epoch target the
+///   same index, and no call races with [`DisjointSlots::as_mut_slice`] /
+///   reads of the same index. Epochs must be separated by a happens-before
+///   edge (the simulator uses a barrier between the write phase and the next
+///   read phase).
+pub struct DisjointSlots<T> {
+    slots: Box<[UnsafeCell<T>]>,
+}
+
+// SAFETY: `DisjointSlots` hands out access only through `write` (whose
+// caller contract forbids aliasing, see above) and through `&mut self`
+// methods. `T: Send` suffices because values only move between threads,
+// they are never referenced concurrently.
+unsafe impl<T: Send> Sync for DisjointSlots<T> {}
+
+impl<T> DisjointSlots<T> {
+    /// Creates a buffer of `len` slots built by `init(i)`.
+    pub fn new_with(len: usize, mut init: impl FnMut(usize) -> T) -> Self {
+        let slots: Box<[UnsafeCell<T>]> = (0..len).map(|i| UnsafeCell::new(init(i))).collect();
+        DisjointSlots { slots }
+    }
+
+    /// Number of slots.
+    #[inline(always)]
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True if there are no slots.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Writes `value` into slot `idx` through a shared reference.
+    ///
+    /// # Safety
+    /// Within the current synchronization epoch, no other thread may access
+    /// slot `idx` (read or write). See the type-level contract.
+    #[inline(always)]
+    pub unsafe fn write(&self, idx: usize, value: T) {
+        debug_assert!(idx < self.slots.len());
+        *self.slots[idx].get() = value;
+    }
+
+    /// Reads slot `idx` through a shared reference.
+    ///
+    /// # Safety
+    /// Within the current synchronization epoch, no thread may *write* slot
+    /// `idx`. Concurrent reads are fine.
+    #[inline(always)]
+    pub unsafe fn read(&self, idx: usize) -> &T {
+        debug_assert!(idx < self.slots.len());
+        &*self.slots[idx].get()
+    }
+
+    /// Exclusive view of the whole buffer (no unsafety: `&mut self`).
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        // SAFETY: exclusive borrow of self gives exclusive access to all cells.
+        unsafe { &mut *(self.slots.as_mut() as *mut [UnsafeCell<T>] as *mut [T]) }
+    }
+
+    /// Shared view of the whole buffer.
+    ///
+    /// # Safety
+    /// No thread may be writing any slot while the returned slice is alive.
+    pub unsafe fn as_slice(&self) -> &[T] {
+        &*(self.slots.as_ref() as *const [UnsafeCell<T>] as *const [T])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_thread_roundtrip() {
+        let mut s = DisjointSlots::new_with(4, |i| i as u64);
+        assert_eq!(s.len(), 4);
+        assert!(!s.is_empty());
+        // SAFETY: single thread, no concurrent access.
+        unsafe {
+            s.write(2, 99);
+            assert_eq!(*s.read(2), 99);
+        }
+        assert_eq!(s.as_mut_slice(), &mut [0, 1, 99, 3]);
+    }
+
+    #[test]
+    fn concurrent_disjoint_writes() {
+        let n = 10_000;
+        let s = DisjointSlots::new_with(n, |_| 0usize);
+        let nthreads = 4;
+        crossbeam::thread::scope(|scope| {
+            for t in 0..nthreads {
+                let s = &s;
+                scope.spawn(move |_| {
+                    // Thread t owns indices ≡ t (mod nthreads): disjoint.
+                    for i in (t..n).step_by(nthreads) {
+                        // SAFETY: index sets are disjoint across threads and
+                        // nothing reads during this scope.
+                        unsafe { s.write(i, i * 2 + 1) };
+                    }
+                });
+            }
+        })
+        .unwrap();
+        let mut s = s;
+        let slice = s.as_mut_slice();
+        for (i, &v) in slice.iter().enumerate() {
+            assert_eq!(v, i * 2 + 1);
+        }
+    }
+
+    #[test]
+    fn empty_buffer() {
+        let s: DisjointSlots<u8> = DisjointSlots::new_with(0, |_| 0);
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+    }
+}

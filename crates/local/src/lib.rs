@@ -1,0 +1,73 @@
+//! # td-local — a simulator for the LOCAL model of distributed computing
+//!
+//! The paper's algorithms are stated in the standard **LOCAL** model
+//! \[Linial 1992; Peleg 2000\]: every node of a graph is a processor with a
+//! unique identifier, computation proceeds in *synchronous rounds*, in each
+//! round every node may send one (unbounded) message over each incident edge,
+//! and messages sent in round `r` are received at the start of round `r + 1`.
+//! The complexity measure is the number of rounds until every node has
+//! halted with its local output.
+//!
+//! This crate is a faithful, deterministic simulator for that model:
+//!
+//! * [`Protocol`] — what a node runs: `init` (sees only its id, degree,
+//!   neighbor ids and its problem-specific local input), `round` (reads the
+//!   inbox, writes the outbox, decides whether to halt), `finish` (produces
+//!   the local output).
+//! * [`Simulator`] — executes a protocol on a [`td_graph::CsrGraph`] until
+//!   all nodes halt (or a round cap is hit), counting rounds and messages.
+//! * Two executors with **bit-identical** semantics: a sequential one and a
+//!   multi-threaded one (crossbeam scoped threads over node partitions;
+//!   message delivery through per-edge mailbox slots written by exactly one
+//!   thread — see [`disjoint`]). Round counts and outputs never depend on
+//!   the executor; tests enforce this.
+//!
+//! ## Example: flooding the maximum identifier
+//!
+//! ```
+//! use td_local::{Protocol, NodeInit, RoundCtx, Inbox, Outbox, Status, Simulator};
+//! use td_graph::gen::classic::path;
+//!
+//! struct FloodMax { best: u32, changed: bool }
+//!
+//! impl Protocol for FloodMax {
+//!     type Input = ();
+//!     type Message = u32;
+//!     type Output = u32;
+//!     fn init(node: NodeInit<'_, ()>) -> Self {
+//!         FloodMax { best: node.id.0, changed: true }
+//!     }
+//!     fn round(
+//!         &mut self,
+//!         ctx: &RoundCtx,
+//!         inbox: &Inbox<'_, u32>,
+//!         outbox: &mut Outbox<'_, '_, u32>,
+//!     ) -> Status {
+//!         for (_, m) in inbox.iter() {
+//!             if *m > self.best { self.best = *m; self.changed = true; }
+//!         }
+//!         if self.changed { outbox.broadcast(self.best); self.changed = false; }
+//!         // This doc-example uses a fixed budget for simplicity.
+//!         if ctx.round >= 8 { Status::Halt } else { Status::Continue }
+//!     }
+//!     fn finish(self) -> u32 { self.best }
+//! }
+//!
+//! let g = path(6);
+//! let outcome = Simulator::sequential().run::<FloodMax>(&g, &vec![(); 6]);
+//! assert!(outcome.completed);
+//! assert!(outcome.outputs.iter().all(|&b| b == 5));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod classics;
+pub mod disjoint;
+pub mod mailbox;
+pub mod metrics;
+pub mod protocol;
+pub mod sim;
+
+pub use metrics::{RoundStats, SimOutcome};
+pub use protocol::{Inbox, NodeInit, Outbox, Protocol, RoundCtx, Status};
+pub use sim::{Executor, Simulator};

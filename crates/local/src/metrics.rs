@@ -1,0 +1,37 @@
+//! Execution metrics: what an experiment measures.
+
+/// Per-round statistics, recorded when tracing is enabled.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RoundStats {
+    /// Round number (0-based).
+    pub round: u32,
+    /// Nodes that were still running at the start of this round.
+    pub active_nodes: usize,
+    /// Messages sent during this round.
+    pub messages: u64,
+}
+
+/// The result of simulating a protocol to completion (or to the round cap).
+#[derive(Clone, Debug)]
+pub struct SimOutcome<O> {
+    /// Local output of every node, indexed by node id.
+    pub outputs: Vec<O>,
+    /// Number of communication rounds executed. This is the quantity the
+    /// paper's theorems bound.
+    pub rounds: u32,
+    /// Total messages sent over all rounds (a secondary cost measure; the
+    /// LOCAL model does not charge for it, but it is interesting to report).
+    pub messages: u64,
+    /// True if every node halted before the round cap.
+    pub completed: bool,
+    /// Per-round statistics if tracing was enabled.
+    pub trace: Option<Vec<RoundStats>>,
+}
+
+impl<O> SimOutcome<O> {
+    /// The round by which the last node halted. Panics if not completed.
+    pub fn rounds_checked(&self) -> u32 {
+        assert!(self.completed, "simulation hit the round cap");
+        self.rounds
+    }
+}

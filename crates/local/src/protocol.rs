@@ -1,0 +1,169 @@
+//! The node-side programming interface of the LOCAL simulator.
+
+use crate::disjoint::DisjointSlots;
+use crate::mailbox::MsgSlot;
+use td_graph::{CsrGraph, NodeId, Port};
+
+/// Everything a node is allowed to see when it boots, matching the paper's
+/// Section 3: "initially, the only information that a node u has are the
+/// identifiers of its neighbors" — plus its problem-specific local input
+/// (token/level/role), which is part of the problem instance.
+pub struct NodeInit<'a, I> {
+    /// This node's globally unique identifier.
+    pub id: NodeId,
+    /// Identifiers of the neighbors, indexed by port (`neighbor_ids[p]` sits
+    /// at the other end of port `p`).
+    pub neighbor_ids: &'a [u32],
+    /// The node's local share of the problem input.
+    pub input: &'a I,
+}
+
+impl<'a, I> NodeInit<'a, I> {
+    /// Degree of this node (number of ports).
+    pub fn degree(&self) -> usize {
+        self.neighbor_ids.len()
+    }
+}
+
+/// Per-round context.
+pub struct RoundCtx {
+    /// The current round number, starting from 0. The inbox of round `r`
+    /// holds the messages sent in round `r - 1` (so it is empty in round 0).
+    pub round: u32,
+}
+
+/// Whether a node keeps participating after this round.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Status {
+    /// Keep running next round.
+    Continue,
+    /// Local output is decided; the node stops (its outgoing messages from
+    /// *this* round are still delivered).
+    Halt,
+}
+
+/// A node's view of the messages received this round: one optional message
+/// per port.
+pub struct Inbox<'a, M> {
+    pub(crate) slots: &'a DisjointSlots<MsgSlot<M>>,
+    pub(crate) base: usize,
+    pub(crate) degree: usize,
+    pub(crate) stamp: u32,
+}
+
+impl<'a, M> Inbox<'a, M> {
+    /// The message received on `port`, if any.
+    #[inline]
+    pub fn get(&self, port: Port) -> Option<&'a M> {
+        debug_assert!(port.idx() < self.degree);
+        // SAFETY: the read buffer is not written during the read phase
+        // (double buffering + barrier separation).
+        let slot = unsafe { self.slots.read(self.base + port.idx()) };
+        if slot.stamp == self.stamp {
+            slot.msg.as_ref()
+        } else {
+            None
+        }
+    }
+
+    /// Iterates over `(port, message)` pairs for all ports that received one.
+    pub fn iter(&self) -> impl Iterator<Item = (Port, &'a M)> + '_ {
+        (0..self.degree).filter_map(move |p| {
+            let port = Port::from(p);
+            self.get(port).map(|m| (port, m))
+        })
+    }
+
+    /// Number of ports (== the node's degree).
+    pub fn num_ports(&self) -> usize {
+        self.degree
+    }
+
+    /// Number of messages received this round.
+    pub fn count(&self) -> usize {
+        self.iter().count()
+    }
+
+    /// True if no message arrived this round.
+    pub fn is_empty(&self) -> bool {
+        self.iter().next().is_none()
+    }
+}
+
+/// A node's sending interface for the current round.
+///
+/// Sending writes directly into the *write* buffer slot owned by the
+/// receiving endpoint; the disjointness argument is in [`crate::disjoint`].
+pub struct Outbox<'a, 'g, M> {
+    pub(crate) write_buf: &'a DisjointSlots<MsgSlot<M>>,
+    pub(crate) graph: &'g CsrGraph,
+    pub(crate) node: NodeId,
+    pub(crate) next_stamp: u32,
+    pub(crate) sent: u64,
+}
+
+impl<M: Clone> Outbox<'_, '_, M> {
+    /// Sends `msg` over `port`; it arrives at the neighbor next round.
+    /// Sending twice on the same port in one round overwrites (one message
+    /// per edge per round, as in the LOCAL model).
+    #[inline]
+    pub fn send(&mut self, port: Port, msg: M) {
+        let slot = self.graph.slot(self.node, port);
+        let mirror = self.graph.mirror_slot(slot);
+        // SAFETY: slot `mirror` belongs to (neighbor, its port); the only
+        // writer of that slot in this round is this node, which is stepped
+        // by exactly one thread.
+        unsafe {
+            self.write_buf.write(
+                mirror,
+                MsgSlot {
+                    stamp: self.next_stamp,
+                    msg: Some(msg),
+                },
+            );
+        }
+        self.sent += 1;
+    }
+
+    /// Sends a clone of `msg` over every port.
+    pub fn broadcast(&mut self, msg: M) {
+        for p in 0..self.graph.degree(self.node) {
+            self.send(Port::from(p), msg.clone());
+        }
+    }
+
+    /// Number of ports available (== the node's degree).
+    pub fn num_ports(&self) -> usize {
+        self.graph.degree(self.node)
+    }
+}
+
+/// A distributed algorithm in the LOCAL model, written from the perspective
+/// of a single node.
+///
+/// The executor creates one `Protocol` value per node via [`Protocol::init`],
+/// calls [`Protocol::round`] once per synchronous round until the node halts,
+/// then collects local outputs via [`Protocol::finish`].
+pub trait Protocol: Sized + Send {
+    /// Per-node problem input (e.g. "holds a token", "level 3").
+    type Input: Sync;
+    /// Message type exchanged between neighbors.
+    type Message: Clone + Send;
+    /// Per-node output (e.g. "final orientation of my incident edges").
+    type Output: Send;
+
+    /// Boots the node. LOCAL: only local information is available.
+    fn init(node: NodeInit<'_, Self::Input>) -> Self;
+
+    /// Executes one synchronous round: read `inbox` (messages sent by
+    /// neighbors in the previous round), update local state, write `outbox`.
+    fn round(
+        &mut self,
+        ctx: &RoundCtx,
+        inbox: &Inbox<'_, Self::Message>,
+        outbox: &mut Outbox<'_, '_, Self::Message>,
+    ) -> Status;
+
+    /// Consumes the node state and emits the local output after halting.
+    fn finish(self) -> Self::Output;
+}

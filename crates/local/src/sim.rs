@@ -1,0 +1,565 @@
+//! The simulator driver: sequential and multi-threaded executors with
+//! identical semantics.
+
+use crate::mailbox::Mailbox;
+use crate::metrics::{RoundStats, SimOutcome};
+use crate::protocol::{Inbox, NodeInit, Outbox, Protocol, RoundCtx, Status};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Barrier;
+use td_graph::{CsrGraph, NodeId};
+
+/// Which engine steps the nodes. Both engines implement the *same*
+/// synchronous semantics; outputs and round counts are identical (tests
+/// enforce this). Parallelism affects wall-clock time only.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Executor {
+    /// Step nodes one by one on the calling thread.
+    Sequential,
+    /// Step nodes on `threads` worker threads (strided node partition).
+    Parallel {
+        /// Number of worker threads (>= 1).
+        threads: usize,
+    },
+}
+
+/// Configurable simulator for [`Protocol`]s. See the crate docs for an
+/// end-to-end example.
+#[derive(Clone, Copy, Debug)]
+pub struct Simulator {
+    executor: Executor,
+    max_rounds: u32,
+    trace: bool,
+}
+
+impl Simulator {
+    /// A sequential simulator with a generous default round cap.
+    pub fn sequential() -> Self {
+        Simulator {
+            executor: Executor::Sequential,
+            max_rounds: 10_000_000,
+            trace: false,
+        }
+    }
+
+    /// A parallel simulator over `threads` workers.
+    pub fn parallel(threads: usize) -> Self {
+        assert!(threads >= 1);
+        Simulator {
+            executor: Executor::Parallel { threads },
+            max_rounds: 10_000_000,
+            trace: false,
+        }
+    }
+
+    /// Caps the number of rounds; the outcome reports `completed = false` if
+    /// the cap is hit.
+    pub fn with_max_rounds(mut self, max_rounds: u32) -> Self {
+        self.max_rounds = max_rounds;
+        self
+    }
+
+    /// Enables per-round statistics collection.
+    pub fn with_trace(mut self, trace: bool) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Runs `P` on `graph` with per-node `inputs` until all nodes halt or the
+    /// round cap is reached.
+    ///
+    /// # Panics
+    /// If `inputs.len() != graph.num_nodes()`.
+    pub fn run<P: Protocol>(&self, graph: &CsrGraph, inputs: &[P::Input]) -> SimOutcome<P::Output> {
+        assert_eq!(
+            inputs.len(),
+            graph.num_nodes(),
+            "one input per node required"
+        );
+        let states: Vec<P> = graph
+            .nodes()
+            .map(|v| {
+                P::init(NodeInit {
+                    id: v,
+                    neighbor_ids: graph.neighbors(v),
+                    input: &inputs[v.idx()],
+                })
+            })
+            .collect();
+        match self.executor {
+            Executor::Sequential => self.run_sequential(graph, states),
+            Executor::Parallel { threads } => self.run_parallel(graph, states, threads),
+        }
+    }
+
+    fn run_sequential<P: Protocol>(
+        &self,
+        graph: &CsrGraph,
+        mut states: Vec<P>,
+    ) -> SimOutcome<P::Output> {
+        let n = graph.num_nodes();
+        let mailbox: Mailbox<P::Message> = Mailbox::new(graph.num_slots());
+        let mut halted = vec![false; n];
+        let mut remaining = n;
+        let mut round: u32 = 0;
+        let mut messages: u64 = 0;
+        let mut trace = self.trace.then(Vec::new);
+
+        while remaining > 0 && round < self.max_rounds {
+            let read_buf = mailbox.read_buf(round);
+            let write_buf = mailbox.write_buf(round);
+            let ctx = RoundCtx { round };
+            let active = remaining;
+            let mut round_msgs: u64 = 0;
+            for v in 0..n {
+                if halted[v] {
+                    continue;
+                }
+                let node = NodeId::from(v);
+                let inbox = Inbox {
+                    slots: read_buf,
+                    base: graph.node_offset(node),
+                    degree: graph.degree(node),
+                    stamp: round,
+                };
+                let mut outbox = Outbox {
+                    write_buf,
+                    graph,
+                    node,
+                    next_stamp: round + 1,
+                    sent: 0,
+                };
+                let status = states[v].round(&ctx, &inbox, &mut outbox);
+                round_msgs += outbox.sent;
+                if status == Status::Halt {
+                    halted[v] = true;
+                    remaining -= 1;
+                }
+            }
+            messages += round_msgs;
+            if let Some(t) = trace.as_mut() {
+                t.push(RoundStats {
+                    round,
+                    active_nodes: active,
+                    messages: round_msgs,
+                });
+            }
+            round += 1;
+        }
+
+        SimOutcome {
+            outputs: states.into_iter().map(P::finish).collect(),
+            rounds: round,
+            messages,
+            completed: remaining == 0,
+            trace,
+        }
+    }
+
+    fn run_parallel<P: Protocol>(
+        &self,
+        graph: &CsrGraph,
+        states: Vec<P>,
+        threads: usize,
+    ) -> SimOutcome<P::Output> {
+        let n = graph.num_nodes();
+        if n == 0 {
+            return SimOutcome {
+                outputs: Vec::new(),
+                rounds: 0,
+                messages: 0,
+                completed: true,
+                trace: self.trace.then(Vec::new),
+            };
+        }
+        let threads = threads.min(n);
+        let mailbox: Mailbox<P::Message> = Mailbox::new(graph.num_slots());
+
+        // Strided node partition: worker `w` owns nodes `w, w+T, w+2T, …`.
+        // Generators tend to order nodes by role (level, side), so contiguous
+        // chunks would give one worker all the early-halting nodes; striding
+        // balances the per-round work. States are laid out worker-major so
+        // each worker still gets one contiguous `&mut` chunk.
+        let mut order: Vec<u32> = Vec::with_capacity(n);
+        for w in 0..threads {
+            let mut k = w;
+            while k < n {
+                order.push(k as u32);
+                k += threads;
+            }
+        }
+        let mut permuted: Vec<P> = Vec::with_capacity(n);
+        let mut tmp: Vec<Option<P>> = states.into_iter().map(Some).collect();
+        for &v in &order {
+            permuted.push(tmp[v as usize].take().expect("each node placed once"));
+        }
+        drop(tmp);
+        let mut states = permuted;
+
+        let total_halted = AtomicUsize::new(0);
+        let messages = AtomicU64::new(0);
+        let round_messages = AtomicU64::new(0);
+        let stop = AtomicBool::new(false);
+        let completed = AtomicBool::new(false);
+        let final_rounds = AtomicU32::new(0);
+        // Two barrier points per round:
+        //   (a) after the compute/send phase — all mailbox writes for the
+        //       next round are published;
+        //   (b) after worker 0 decided whether to stop — all workers agree.
+        let barrier = Barrier::new(threads);
+        let trace: Mutex<Vec<RoundStats>> = Mutex::new(Vec::new());
+        let want_trace = self.trace;
+        let max_rounds = self.max_rounds;
+
+        // Split the worker-major state vector at each worker's node count.
+        let counts: Vec<usize> = (0..threads).map(|w| (n - w).div_ceil(threads)).collect();
+        let mut chunks: Vec<&mut [P]> = Vec::with_capacity(threads);
+        let mut rest: &mut [P] = &mut states;
+        for &c in &counts {
+            let (head, tail) = rest.split_at_mut(c);
+            chunks.push(head);
+            rest = tail;
+        }
+        debug_assert!(rest.is_empty());
+
+        crossbeam::thread::scope(|scope| {
+            for (w, chunk) in chunks.drain(..).enumerate() {
+                let mailbox = &mailbox;
+                let barrier = &barrier;
+                let total_halted = &total_halted;
+                let messages = &messages;
+                let round_messages = &round_messages;
+                let stop = &stop;
+                let completed = &completed;
+                let final_rounds = &final_rounds;
+                let trace = &trace;
+                scope.spawn(move |_| {
+                    let mut halted = vec![false; chunk.len()];
+                    let mut round: u32 = 0;
+                    let mut halted_before: usize = 0; // coordinator-only
+                    loop {
+                        let read_buf = mailbox.read_buf(round);
+                        let write_buf = mailbox.write_buf(round);
+                        let ctx = RoundCtx { round };
+                        let mut local_msgs: u64 = 0;
+                        let mut newly_halted: usize = 0;
+                        for (i, state) in chunk.iter_mut().enumerate() {
+                            if halted[i] {
+                                continue;
+                            }
+                            let node = NodeId::from(w + i * threads);
+                            let inbox = Inbox {
+                                slots: read_buf,
+                                base: graph.node_offset(node),
+                                degree: graph.degree(node),
+                                stamp: round,
+                            };
+                            let mut outbox = Outbox {
+                                write_buf,
+                                graph,
+                                node,
+                                next_stamp: round + 1,
+                                sent: 0,
+                            };
+                            let status = state.round(&ctx, &inbox, &mut outbox);
+                            local_msgs += outbox.sent;
+                            if status == Status::Halt {
+                                halted[i] = true;
+                                newly_halted += 1;
+                            }
+                        }
+                        messages.fetch_add(local_msgs, Ordering::Relaxed);
+                        round_messages.fetch_add(local_msgs, Ordering::Relaxed);
+                        total_halted.fetch_add(newly_halted, Ordering::Relaxed);
+                        // (a) all sends for round `round` are in the write buffer.
+                        barrier.wait();
+                        if w == 0 {
+                            let halted_now = total_halted.load(Ordering::Relaxed);
+                            if want_trace {
+                                trace.lock().push(RoundStats {
+                                    round,
+                                    active_nodes: n - halted_before,
+                                    messages: round_messages.swap(0, Ordering::Relaxed),
+                                });
+                            } else {
+                                round_messages.store(0, Ordering::Relaxed);
+                            }
+                            halted_before = halted_now;
+                            if halted_now == n {
+                                completed.store(true, Ordering::Relaxed);
+                                final_rounds.store(round + 1, Ordering::Relaxed);
+                                stop.store(true, Ordering::Relaxed);
+                            } else if round + 1 >= max_rounds {
+                                final_rounds.store(round + 1, Ordering::Relaxed);
+                                stop.store(true, Ordering::Relaxed);
+                            }
+                        }
+                        // (b) stop decision is published.
+                        barrier.wait();
+                        if stop.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        round += 1;
+                    }
+                });
+            }
+        })
+        .expect("simulator worker panicked");
+
+        // Un-permute: state at worker-major position `pos` belongs to node
+        // `order[pos]`.
+        let mut outputs: Vec<Option<P::Output>> = (0..n).map(|_| None).collect();
+        for (pos, state) in states.into_iter().enumerate() {
+            outputs[order[pos] as usize] = Some(state.finish());
+        }
+        SimOutcome {
+            outputs: outputs.into_iter().map(|o| o.expect("every node finished")).collect(),
+            rounds: final_rounds.load(Ordering::Relaxed),
+            messages: messages.load(Ordering::Relaxed),
+            completed: completed.load(Ordering::Relaxed),
+            trace: want_trace.then(|| trace.into_inner()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{Inbox, NodeInit, Outbox, RoundCtx};
+    use td_graph::gen::classic::{cycle, path, star};
+    use td_graph::Port;
+
+    /// Each node learns its BFS distance from node 0 (which knows it is the
+    /// source from its input) and halts one round after its distance settles.
+    struct BfsDist {
+        dist: u32,
+        announced: bool,
+    }
+
+    impl Protocol for BfsDist {
+        type Input = bool; // am I the source?
+        type Message = u32;
+        type Output = u32;
+
+        fn init(node: NodeInit<'_, bool>) -> Self {
+            BfsDist {
+                dist: if *node.input { 0 } else { u32::MAX },
+                announced: false,
+            }
+        }
+
+        fn round(
+            &mut self,
+            _ctx: &RoundCtx,
+            inbox: &Inbox<'_, u32>,
+            outbox: &mut Outbox<'_, '_, u32>,
+        ) -> Status {
+            for (_, &d) in inbox.iter() {
+                if d + 1 < self.dist {
+                    self.dist = d + 1;
+                    self.announced = false;
+                }
+            }
+            if self.dist != u32::MAX && !self.announced {
+                outbox.broadcast(self.dist);
+                self.announced = true;
+                return Status::Continue;
+            }
+            if self.announced {
+                Status::Halt
+            } else {
+                Status::Continue
+            }
+        }
+
+        fn finish(self) -> u32 {
+            self.dist
+        }
+    }
+
+    fn bfs_inputs(n: usize) -> Vec<bool> {
+        let mut v = vec![false; n];
+        v[0] = true;
+        v
+    }
+
+    #[test]
+    fn bfs_on_path_sequential() {
+        let g = path(6);
+        let out = Simulator::sequential().run::<BfsDist>(&g, &bfs_inputs(6));
+        assert!(out.completed);
+        assert_eq!(out.outputs, vec![0, 1, 2, 3, 4, 5]);
+        // Node 5 learns its distance in round 5 and halts in round 6;
+        // simulator runs rounds 0..=6 → 7 rounds.
+        assert_eq!(out.rounds, 7);
+    }
+
+    #[test]
+    fn bfs_parallel_matches_sequential() {
+        let g = cycle(31);
+        let seq = Simulator::sequential().run::<BfsDist>(&g, &bfs_inputs(31));
+        for threads in [1, 2, 3, 8] {
+            let par = Simulator::parallel(threads).run::<BfsDist>(&g, &bfs_inputs(31));
+            assert_eq!(par.outputs, seq.outputs, "threads = {threads}");
+            assert_eq!(par.rounds, seq.rounds, "threads = {threads}");
+            assert_eq!(par.messages, seq.messages, "threads = {threads}");
+            assert!(par.completed);
+        }
+    }
+
+    #[test]
+    fn round_cap_reported() {
+        let g = path(64);
+        let out = Simulator::sequential()
+            .with_max_rounds(3)
+            .run::<BfsDist>(&g, &bfs_inputs(64));
+        assert!(!out.completed);
+        assert_eq!(out.rounds, 3);
+    }
+
+    #[test]
+    fn trace_records_rounds() {
+        let g = star(4);
+        let out = Simulator::sequential()
+            .with_trace(true)
+            .run::<BfsDist>(&g, &bfs_inputs(5));
+        let trace = out.trace.unwrap();
+        assert_eq!(trace.len() as u32, out.rounds);
+        assert_eq!(trace[0].active_nodes, 5);
+        assert_eq!(trace[0].round, 0);
+        let traced_msgs: u64 = trace.iter().map(|r| r.messages).sum();
+        assert_eq!(traced_msgs, out.messages);
+    }
+
+    #[test]
+    fn parallel_trace_matches_sequential() {
+        let g = cycle(17);
+        let seq = Simulator::sequential()
+            .with_trace(true)
+            .run::<BfsDist>(&g, &bfs_inputs(17));
+        let par = Simulator::parallel(4)
+            .with_trace(true)
+            .run::<BfsDist>(&g, &bfs_inputs(17));
+        assert_eq!(seq.trace, par.trace);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = td_graph::CsrGraph::from_edges(0, &[]).unwrap();
+        let out = Simulator::parallel(4).run::<BfsDist>(&g, &[]);
+        assert!(out.completed);
+        assert_eq!(out.rounds, 0);
+        let out = Simulator::sequential().run::<BfsDist>(&g, &[]);
+        assert!(out.completed);
+        assert_eq!(out.rounds, 0);
+    }
+
+    /// Message delivered exactly one round later, port-addressed.
+    struct PortEcho {
+        degree: usize,
+        received: Vec<Option<u32>>,
+    }
+
+    impl Protocol for PortEcho {
+        type Input = ();
+        type Message = u32;
+        type Output = Vec<Option<u32>>;
+
+        fn init(node: NodeInit<'_, ()>) -> Self {
+            PortEcho {
+                degree: node.degree(),
+                received: vec![None; node.degree()],
+            }
+        }
+
+        fn round(
+            &mut self,
+            ctx: &RoundCtx,
+            inbox: &Inbox<'_, u32>,
+            outbox: &mut Outbox<'_, '_, u32>,
+        ) -> Status {
+            match ctx.round {
+                0 => {
+                    // Send my own port number on each port.
+                    for p in 0..self.degree {
+                        outbox.send(Port::from(p), p as u32);
+                    }
+                    assert!(inbox.is_empty(), "round 0 inbox must be empty");
+                    Status::Continue
+                }
+                1 => {
+                    for (p, &m) in inbox.iter() {
+                        self.received[p.idx()] = Some(m);
+                    }
+                    Status::Halt
+                }
+                _ => unreachable!(),
+            }
+        }
+
+        fn finish(self) -> Vec<Option<u32>> {
+            self.received
+        }
+    }
+
+    #[test]
+    fn port_addressing_and_mirror_delivery() {
+        let g = path(3); // v0 -p0- v1, v1 has ports to v0 (p0) and v2 (p1)
+        let out = Simulator::sequential().run::<PortEcho>(&g, &[(); 3]);
+        assert!(out.completed);
+        assert_eq!(out.rounds, 2);
+        // v0 hears v1's port-0 message (v1's port 0 leads to v0).
+        assert_eq!(out.outputs[0], vec![Some(0)]);
+        // v1 hears v0's port-0 message on its port 0 and v2's port-0 on its port 1.
+        assert_eq!(out.outputs[1], vec![Some(0), Some(0)]);
+        assert_eq!(out.outputs[2], vec![Some(1)]);
+        assert_eq!(out.messages, 4);
+    }
+
+    /// A protocol where some nodes halt early; late messages to halted nodes
+    /// are dropped silently and do not crash.
+    struct HaltEarly {
+        id: u32,
+    }
+
+    impl Protocol for HaltEarly {
+        type Input = ();
+        type Message = u32;
+        type Output = u32;
+
+        fn init(node: NodeInit<'_, ()>) -> Self {
+            HaltEarly { id: node.id.0 }
+        }
+
+        fn round(
+            &mut self,
+            ctx: &RoundCtx,
+            _inbox: &Inbox<'_, u32>,
+            outbox: &mut Outbox<'_, '_, u32>,
+        ) -> Status {
+            outbox.broadcast(self.id);
+            if self.id.is_multiple_of(2) || ctx.round >= 4 {
+                Status::Halt
+            } else {
+                Status::Continue
+            }
+        }
+
+        fn finish(self) -> u32 {
+            self.id
+        }
+    }
+
+    #[test]
+    fn staggered_halting() {
+        let g = cycle(10);
+        let out = Simulator::sequential().run::<HaltEarly>(&g, &[(); 10]);
+        assert!(out.completed);
+        assert_eq!(out.rounds, 5);
+        // Even nodes sent 1 round * 2 ports, odd nodes 5 rounds * 2 ports.
+        assert_eq!(out.messages, 5 * 2 + 5 * 5 * 2);
+        let par = Simulator::parallel(3).run::<HaltEarly>(&g, &[(); 10]);
+        assert_eq!(par.rounds, out.rounds);
+        assert_eq!(par.messages, out.messages);
+    }
+}

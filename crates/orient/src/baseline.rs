@@ -1,0 +1,192 @@
+//! A \[CHSW12\]-style distributed baseline for stable orientation.
+//!
+//! The reproduced paper characterizes the prior approach as: *"In the prior
+//! work, one starts with an arbitrary orientation. This potentially creates
+//! a large amount of unhappiness and resolving it takes a lot of time."*
+//! (Section 1.2). The DISC 2012 paper itself is not available offline, so —
+//! per the substitution rule in DESIGN.md — this module implements exactly
+//! that scheme at the level of detail the paper gives: start from an
+//! arbitrary complete orientation, then resolve unhappiness with a
+//! conflict-free distributed flip protocol.
+//!
+//! Per round (2 communication rounds: propose + accept):
+//! * every node draws a fair coin for a role, **head** or **tail** (the
+//!   standard symmetry-breaking device; a deterministic proposer/acceptor
+//!   split can deadlock on proposal cycles);
+//! * every head-role node with an unhappy in-edge proposes to flip the one
+//!   with maximum badness (ties: smaller tail id);
+//! * every tail-role node accepts at most one proposal (maximum badness,
+//!   then smaller proposer id) — accepted flips are node-disjoint by
+//!   construction, so each flip still has badness ≥ 2 when applied and the
+//!   Σ load² potential drops by ≥ 2 per flip, guaranteeing termination.
+//!
+//! The round count of this baseline grows much faster with Δ (and is not
+//! independent of the *initial* unhappiness, which scales with Σ load²) —
+//! exactly the behaviour the paper's phase algorithm avoids. Experiment E4
+//! measures the two against each other.
+
+use crate::orientation::Orientation;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use td_graph::{CsrGraph, EdgeId, NodeId};
+
+/// Result of the baseline flip protocol.
+#[derive(Clone, Debug)]
+pub struct BaselineResult {
+    /// The final stable orientation.
+    pub orientation: Orientation,
+    /// Protocol rounds executed (each = 2 communication rounds).
+    pub rounds: u32,
+    /// Derived communication rounds (`2 · rounds + 1` for the initial load
+    /// exchange).
+    pub comm_rounds: u64,
+    /// Total flips performed.
+    pub flips: u64,
+}
+
+/// Runs the baseline from the given complete orientation.
+///
+/// # Panics
+/// If the orientation is not complete, or `max_rounds` is exceeded.
+pub fn run(
+    g: &CsrGraph,
+    mut orientation: Orientation,
+    seed: u64,
+    max_rounds: u32,
+) -> BaselineResult {
+    assert!(orientation.fully_oriented(), "baseline starts fully oriented");
+    let n = g.num_nodes();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rounds: u32 = 0;
+    let mut flips: u64 = 0;
+
+    // proposals[u] = (edge, badness, head_id): best proposal targeting tail u.
+    let mut proposal: Vec<Option<(EdgeId, i64, u32)>> = vec![None; n];
+
+    loop {
+        // Stop when stable (host-side termination check; a faithful LOCAL
+        // implementation would use a known-Δ round budget — see DESIGN.md).
+        if orientation.unhappy_edges(g).next().is_none() {
+            break;
+        }
+        assert!(rounds < max_rounds, "baseline exceeded {max_rounds} rounds");
+
+        // Roles.
+        let head_role: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.5)).collect();
+
+        // Propose: each head-role node picks its worst unhappy in-edge.
+        for p in proposal.iter_mut() {
+            *p = None;
+        }
+        for v in 0..n {
+            if !head_role[v] {
+                continue;
+            }
+            let node = NodeId::from(v);
+            let mut best: Option<(EdgeId, i64, NodeId)> = None;
+            for p in 0..g.degree(node) {
+                let e = g.edge_at(node, td_graph::Port::from(p));
+                if orientation.head(e) != Some(node) {
+                    continue;
+                }
+                let b = orientation.badness(g, e).unwrap();
+                if b <= 1 {
+                    continue;
+                }
+                let tail = g.other_endpoint(e, node);
+                if best.is_none_or(|(_, bb, bt)| b > bb || (b == bb && tail < bt)) {
+                    best = Some((e, b, tail));
+                }
+            }
+            if let Some((e, b, tail)) = best {
+                if !head_role[tail.idx()] {
+                    let slot = &mut proposal[tail.idx()];
+                    if slot.is_none_or(|(_, sb, sh)| b > sb || (b == sb && (v as u32) < sh)) {
+                        *slot = Some((e, b, v as u32));
+                    }
+                }
+            }
+        }
+
+        // Accept: each tail-role node flips its best proposal (node-disjoint
+        // by the role split, so simultaneous application is safe).
+        for u in 0..n {
+            if head_role[u] {
+                continue;
+            }
+            if let Some((e, b, _)) = proposal[u] {
+                debug_assert!(b >= 2);
+                let before = orientation.potential();
+                orientation.flip(g, e);
+                debug_assert!(orientation.potential() + 2 <= before);
+                flips += 1;
+            }
+        }
+
+        rounds += 1;
+    }
+
+    debug_assert!(orientation.verify_stable(g).is_ok());
+    BaselineResult {
+        orientation,
+        rounds,
+        comm_rounds: 2 * rounds as u64 + 1,
+        flips,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use td_graph::gen::classic::{complete, star};
+    use td_graph::gen::random::{gnm, random_regular};
+
+    #[test]
+    fn resolves_star_overload() {
+        let g = star(12);
+        let mut o = Orientation::unoriented(&g);
+        for e in g.edges() {
+            o.orient(&g, e, NodeId(0));
+        }
+        let res = run(&g, o, 1, 100_000);
+        res.orientation.verify_stable(&g).unwrap();
+        assert!(res.flips >= 1);
+        assert!(res.orientation.load(NodeId(0)) <= 2);
+    }
+
+    #[test]
+    fn resolves_random_graphs() {
+        let mut rng = SmallRng::seed_from_u64(81);
+        for trial in 0..10 {
+            let g = gnm(40, 120, &mut rng);
+            let o = Orientation::random(&g, &mut rng);
+            let res = run(&g, o, trial, 1_000_000);
+            res.orientation.verify_stable(&g).unwrap();
+        }
+    }
+
+    #[test]
+    fn stable_input_needs_zero_rounds() {
+        let g = complete(4);
+        // Orient K4 as a round-robin tournament-ish: loads (1.5 avg)...
+        // Simplest: run baseline once, feed its output back in.
+        let mut rng = SmallRng::seed_from_u64(82);
+        let o = Orientation::random(&g, &mut rng);
+        let first = run(&g, o, 5, 100_000);
+        let second = run(&g, first.orientation, 6, 100_000);
+        assert_eq!(second.rounds, 0);
+        assert_eq!(second.flips, 0);
+        assert_eq!(second.comm_rounds, 1);
+    }
+
+    #[test]
+    fn potential_bounds_flips() {
+        let mut rng = SmallRng::seed_from_u64(83);
+        let g = random_regular(20, 6, &mut rng, 200).unwrap();
+        let o = Orientation::toward_larger(&g);
+        let budget = o.potential() / 2;
+        let res = run(&g, o, 9, 1_000_000);
+        assert!(res.flips <= budget);
+        res.orientation.verify_stable(&g).unwrap();
+    }
+}

@@ -1,0 +1,39 @@
+//! # td-orient — stable orientations (paper Sections 5 and 6)
+//!
+//! An orientation of a graph is **stable** if every directed edge `(u, v)`
+//! is *happy*: `indegree(v) <= indegree(u) + 1` — no edge can lower its
+//! head's load by flipping. Stable orientations are simultaneously a
+//! game-theoretic equilibrium of selfish customers (edges) choosing servers
+//! (endpoints) and a local optimum of the Σ load² balancing objective.
+//!
+//! This crate implements:
+//!
+//! * [`Orientation`] — orientation state with maintained loads, badness,
+//!   happiness, the Σ load² potential, and an independent stability
+//!   verifier;
+//! * [`phases`] — the paper's **O(Δ⁴)** algorithm (Theorem 5.1): gradually
+//!   orient edges in O(Δ) phases (Lemma 5.5), using the token dropping game
+//!   of `td-core` as the per-phase repair step that keeps every oriented
+//!   edge's badness at most 1 (Lemma 5.4);
+//! * [`baseline`] — a \[CHSW12\]-style baseline that starts from an arbitrary
+//!   complete orientation and distributedly resolves unhappiness by
+//!   handshaked flips (see DESIGN.md for the substitution note);
+//! * [`sequential`] — the centralized greedy flipper with its Σ load²
+//!   potential argument (Section 1.1);
+//! * [`lower_bound`] — the Section 6 constructions and certificates:
+//!   Lemma 6.1 (trees: `indegree(v) <= h(v) + 1`), Lemma 6.2 (regular
+//!   graphs: some node has indegree >= ⌈Δ/2⌉), and the stabilization-radius
+//!   probe used to exhibit the Ω(Δ) indistinguishability argument.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod lower_bound;
+pub mod orientation;
+pub mod phases;
+pub mod protocol;
+pub mod sequential;
+
+pub use orientation::{Orientation, UnhappyEdge};
+pub use phases::{solve_stable_orientation, PhaseConfig, PhaseResult};

@@ -1,0 +1,207 @@
+//! The Section 6 lower-bound constructions and their checkable
+//! certificates.
+//!
+//! Theorem 6.3 (Ω(Δ) rounds for stable orientation) rests on an
+//! indistinguishability argument between two graph families whose stable
+//! orientations are forced to *differ* at nodes with identical local views:
+//!
+//! * **Lemma 6.1** — in any stable orientation of a perfect Δ-ary tree,
+//!   `indegree(v) <= h(v) + 1` where `h(v)` is the height of `v` (distance
+//!   to its closest leaf);
+//! * **Lemma 6.2** — in any orientation of a Δ-regular graph, some node has
+//!   `indegree >= ⌈Δ/2⌉`.
+//!
+//! A node deep inside a high-girth Δ-regular graph and a node of height
+//! ⌈Δ/2⌉−2 in the tree have isomorphic radius-t views for t ≈ Δ/2, yet the
+//! lemmas force different indegrees — so no algorithm can decide in fewer
+//! than ~Δ/2 rounds. Lower bounds cannot be "run"; what we *can* do is (a)
+//! check the lemmas on every instance (they are the proof's load-bearing
+//! facts), and (b) measure a **stabilization probe**: the last phase in
+//! which any node's incident orientation changes, which grows with Δ on
+//! these adversarial families.
+
+use crate::orientation::Orientation;
+use crate::phases::{solve_stable_orientation, PhaseConfig};
+use td_graph::algo::bfs_distances;
+use td_graph::{CsrGraph, NodeId};
+
+/// Heights of all nodes in a tree: distance to the closest leaf (a leaf has
+/// height 0). Computed by multi-source BFS from all leaves.
+pub fn tree_heights(g: &CsrGraph) -> Vec<u32> {
+    use std::collections::VecDeque;
+    let n = g.num_nodes();
+    let mut h = vec![u32::MAX; n];
+    let mut queue = VecDeque::new();
+    for v in g.nodes() {
+        if g.degree(v) <= 1 {
+            h[v.idx()] = 0;
+            queue.push_back(v.0);
+        }
+    }
+    while let Some(v) = queue.pop_front() {
+        let hv = h[v as usize];
+        for &u in g.neighbors(NodeId(v)) {
+            if h[u as usize] == u32::MAX {
+                h[u as usize] = hv + 1;
+                queue.push_back(u);
+            }
+        }
+    }
+    h
+}
+
+/// Checks Lemma 6.1 on a *stable* orientation of a tree: every node's
+/// indegree is at most its height + 1. Returns the first violating node, if
+/// any.
+pub fn check_tree_indegree_bound(g: &CsrGraph, o: &Orientation) -> Result<(), NodeId> {
+    let heights = tree_heights(g);
+    for v in g.nodes() {
+        if o.load(v) as u64 > heights[v.idx()] as u64 + 1 {
+            return Err(v);
+        }
+    }
+    Ok(())
+}
+
+/// Checks Lemma 6.2 on a complete orientation of a `d`-regular graph: some
+/// node has indegree at least ⌈d/2⌉. Returns the maximum indegree found.
+pub fn check_regular_indegree_lb(g: &CsrGraph, o: &Orientation, d: usize) -> (bool, u32) {
+    debug_assert!(g.nodes().all(|v| g.degree(v) == d));
+    let max = g.nodes().map(|v| o.load(v)).max().unwrap_or(0);
+    (max as usize >= d.div_ceil(2), max)
+}
+
+/// Result of the stabilization probe on one instance.
+#[derive(Clone, Debug)]
+pub struct ProbeResult {
+    /// The final stable orientation (verified).
+    pub orientation: Orientation,
+    /// Phases used by the algorithm.
+    pub phases: u32,
+    /// For every node, the last phase in which an incident edge changed
+    /// orientation state (its "stabilization time"); `0` if never touched.
+    pub stabilization_phase: Vec<u32>,
+    /// The maximum entry of `stabilization_phase`.
+    pub max_stabilization: u32,
+}
+
+/// Runs the phase algorithm while recording, for every node, the last phase
+/// that changed an incident edge — an empirical proxy for how long the
+/// node's output takes to settle (the quantity the Ω(Δ) bound says must
+/// grow linearly with Δ on these families).
+pub fn stabilization_probe(g: &CsrGraph) -> ProbeResult {
+    // Re-run the phase algorithm phase by phase, diffing orientations.
+    // (Simplest faithful implementation: run to completion, then replay the
+    // per-phase stats are not enough — so we re-run with snapshots.)
+    let full = solve_stable_orientation(g, PhaseConfig::default());
+    let phases = full.phases;
+
+    // Replay: run the deterministic algorithm again, capturing orientation
+    // after each phase by re-running with increasing phase caps would be
+    // O(phases²); instead recompute directly by diffing successive runs of
+    // the internal loop. The algorithm is deterministic, so capturing
+    // snapshots via a custom loop is exact.
+    let mut stabilization = vec![0u32; g.num_nodes()];
+    let mut prev = Orientation::unoriented(g);
+    let mut current = Orientation::unoriented(g);
+    let mut phase_no: u32 = 0;
+    // Re-implement the loop by calling the library function with a phase
+    // cap is not exposed; we instead detect changes through the public
+    // deterministic API: run the full algorithm and track per-edge change
+    // phases by simulating the same phases with the exposed primitives.
+    // To keep one source of truth we call the internal single-phase driver.
+    while !current.fully_oriented() {
+        phase_no += 1;
+        current = crate::phases::run_phases_capped(g, PhaseConfig::default(), phase_no)
+            .orientation;
+        for e in g.edges() {
+            let changed = prev.head(e) != current.head(e);
+            if changed {
+                let (u, v) = g.endpoints(e);
+                stabilization[u.idx()] = phase_no;
+                stabilization[v.idx()] = phase_no;
+            }
+        }
+        prev = current.clone();
+        assert!(phase_no <= phases, "replay diverged from full run");
+    }
+    current.verify_stable(g).unwrap();
+    let max_stabilization = stabilization.iter().copied().max().unwrap_or(0);
+    ProbeResult {
+        orientation: current,
+        phases,
+        stabilization_phase: stabilization,
+        max_stabilization,
+    }
+}
+
+/// Convenience: BFS eccentricity of `v` (used to pick "deep" probe nodes).
+pub fn eccentricity(g: &CsrGraph, v: NodeId) -> u32 {
+    bfs_distances(g, v).into_iter().filter(|&d| d != u32::MAX).max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use td_graph::gen::classic::{heawood, petersen};
+    use td_graph::gen::structured::{high_girth_regular, perfect_dary_tree};
+
+    #[test]
+    fn tree_heights_of_path() {
+        let g = td_graph::gen::classic::path(5);
+        assert_eq!(tree_heights(&g), vec![0, 1, 2, 1, 0]);
+    }
+
+    #[test]
+    fn lemma_6_1_on_perfect_trees() {
+        for &(d, depth) in &[(3usize, 4usize), (4, 3), (5, 3)] {
+            let (g, _) = perfect_dary_tree(d, depth, 100_000);
+            let res = solve_stable_orientation(&g, PhaseConfig::default());
+            res.orientation.verify_stable(&g).unwrap();
+            check_tree_indegree_bound(&g, &res.orientation)
+                .unwrap_or_else(|v| panic!("Lemma 6.1 violated at {v} (d={d})"));
+        }
+    }
+
+    #[test]
+    fn lemma_6_2_on_regular_graphs() {
+        let fixed = [petersen(), heawood()];
+        for g in fixed {
+            let d = g.degree(NodeId(0));
+            let res = solve_stable_orientation(&g, PhaseConfig::default());
+            let (ok, max) = check_regular_indegree_lb(&g, &res.orientation, d);
+            assert!(ok, "max indegree {max} < ceil({d}/2)");
+        }
+        let mut rng = SmallRng::seed_from_u64(91);
+        let g = high_girth_regular(40, 4, 5, &mut rng, 60).unwrap();
+        let res = solve_stable_orientation(&g, PhaseConfig::default());
+        let (ok, _) = check_regular_indegree_lb(&g, &res.orientation, 4);
+        assert!(ok);
+    }
+
+    #[test]
+    fn lemma_6_2_any_complete_orientation() {
+        // Lemma 6.2 holds for *any* orientation, not just stable ones.
+        let g = petersen();
+        let o = Orientation::toward_larger(&g);
+        let (ok, _) = check_regular_indegree_lb(&g, &o, 3);
+        assert!(ok);
+        let mut rng = SmallRng::seed_from_u64(92);
+        let o = Orientation::random(&g, &mut rng);
+        let (ok, _) = check_regular_indegree_lb(&g, &o, 3);
+        assert!(ok);
+    }
+
+    #[test]
+    fn probe_replay_matches_full_run() {
+        let g = petersen();
+        let probe = stabilization_probe(&g);
+        probe.orientation.verify_stable(&g).unwrap();
+        assert!(probe.max_stabilization <= probe.phases);
+        assert!(probe.max_stabilization >= 1);
+        // Deep nodes exist.
+        assert!(eccentricity(&g, NodeId(0)) >= 2);
+    }
+}

@@ -1,0 +1,77 @@
+//! The fully distributed algorithms end to end: every node is a LOCAL
+//! processor, phases are synchronized by the known-parameter budgets, and
+//! the round counts *are* the paper's bounds with explicit constants.
+//!
+//! * Stable orientation (Theorem 5.1): Θ(Δ⁴) communication rounds.
+//! * Stable assignment (Theorem 7.3): Θ(C·S⁴); 2-bounded (Theorem 7.5):
+//!   Θ(C·S²).
+//!
+//! Run with: `cargo run --release --example distributed`
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use token_dropping::assign::protocol::{
+    run_distributed_assignment, total_rounds as assign_rounds,
+};
+use token_dropping::assign::AssignmentInstance;
+use token_dropping::graph::gen::random::random_regular;
+use token_dropping::local::Simulator;
+use token_dropping::orient::phases::{solve_stable_orientation, PhaseConfig};
+use token_dropping::orient::protocol::{run_distributed, total_rounds as orient_rounds};
+
+fn main() {
+    let mut rng = SmallRng::seed_from_u64(99);
+
+    println!("=== Distributed stable orientation (Theorem 5.1) ===");
+    println!("{:>3} {:>5} {:>14} {:>10} {:>10}", "Δ", "n", "comm rounds", "budget", "messages");
+    for d in [2usize, 3, 4] {
+        let g = random_regular(8 * d, d, &mut rng, 500).unwrap();
+        let res = run_distributed(&g, &Simulator::sequential());
+        res.orientation.verify_stable(&g).unwrap();
+        // The protocol is deterministic and equals the lockstep driver:
+        let lock = solve_stable_orientation(&g, PhaseConfig::default());
+        assert_eq!(res.orientation, lock.orientation);
+        println!(
+            "{:>3} {:>5} {:>14} {:>10} {:>10}",
+            d,
+            g.num_nodes(),
+            res.comm_rounds,
+            orient_rounds(d as u32),
+            res.messages
+        );
+    }
+    println!("(output verified stable and equal to the lockstep driver's)\n");
+
+    println!("=== Distributed stable assignment (Theorems 7.3 / 7.5) ===");
+    let inst = AssignmentInstance::random(10, 5, 2..=2, &mut rng);
+    let (c, s) = (
+        inst.max_customer_degree() as u32,
+        inst.max_server_degree() as u32,
+    );
+    println!(
+        "instance: {} customers × {} servers, C = {c}, S = {s}",
+        inst.num_customers(),
+        inst.num_servers()
+    );
+    let exact = run_distributed_assignment(&inst, None, &Simulator::sequential());
+    exact.assignment.verify_stable(&inst).unwrap();
+    println!(
+        "exact:     {} comm rounds (budget {}), cost {}",
+        exact.comm_rounds,
+        assign_rounds(c, s, None),
+        exact.assignment.cost()
+    );
+    let bounded = run_distributed_assignment(&inst, Some(2), &Simulator::sequential());
+    bounded.assignment.verify_k_bounded(&inst, 2).unwrap();
+    println!(
+        "2-bounded: {} comm rounds (budget {}), cost {}",
+        bounded.comm_rounds,
+        assign_rounds(c, s, Some(2)),
+        bounded.assignment.cost()
+    );
+    println!(
+        "\nthe 2-bounded budget is Θ(S²) smaller per the Theorem 7.5 analysis: {} vs {}",
+        assign_rounds(c, s, Some(2)),
+        assign_rounds(c, s, None)
+    );
+}

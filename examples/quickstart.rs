@@ -1,0 +1,71 @@
+//! Quickstart: build a graph, find a stable orientation with the paper's
+//! O(Δ⁴) algorithm, and verify it (reproduces the flavor of Figure 1).
+//!
+//! Run with: `cargo run --example quickstart`
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use token_dropping::graph::gen::random::gnm;
+use token_dropping::orient::phases::{solve_stable_orientation, PhaseConfig};
+use token_dropping::prelude::*;
+
+fn main() {
+    // A seeded random graph: 30 nodes, 75 edges.
+    let mut rng = SmallRng::seed_from_u64(2021);
+    let g = gnm(30, 75, &mut rng);
+    let delta = g.max_degree();
+    println!("graph: n = {}, m = {}, Δ = {delta}", g.num_nodes(), g.num_edges());
+
+    // Orient it stably: every edge (customer) points at a server whose load
+    // cannot be improved by unilaterally switching.
+    let result = solve_stable_orientation(&g, PhaseConfig::default());
+    result
+        .orientation
+        .verify_stable(&g)
+        .expect("algorithm output must be stable");
+
+    println!(
+        "stable orientation found in {} phases ({} derived communication rounds)",
+        result.phases, result.comm_rounds
+    );
+    println!(
+        "Lemma 5.5 check: phases {} <= 2Δ + 2 = {}",
+        result.phases,
+        2 * delta + 2
+    );
+
+    // Load distribution: the whole point of stability is local balance.
+    let mut hist = std::collections::BTreeMap::new();
+    for v in g.nodes() {
+        *hist.entry(result.orientation.load(v)).or_insert(0u32) += 1;
+    }
+    println!("\nload histogram (load -> #servers):");
+    for (load, count) in &hist {
+        println!("  {load:>3} -> {count} {}", "#".repeat(*count as usize));
+    }
+
+    // Every edge is happy: badness <= 1.
+    let max_badness = g
+        .edges()
+        .filter_map(|e| result.orientation.badness(&g, e))
+        .max()
+        .unwrap();
+    println!("\nmax badness over all edges: {max_badness} (stable ⟺ ≤ 1)");
+
+    // Render the small instance from the paper's Figure 1 for eyeballing.
+    let tiny = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]).unwrap();
+    let tiny_result = solve_stable_orientation(&tiny, PhaseConfig::default());
+    tiny_result.orientation.verify_stable(&tiny).unwrap();
+    println!("\nFigure-1-style mini instance as DOT (paste into graphviz):");
+    let dot = token_dropping::graph::dot::to_dot_oriented(
+        &tiny,
+        |v| Some(format!("v{} load {}", v.0, tiny_result.orientation.load(v))),
+        |e| {
+            tiny_result
+                .orientation
+                .head(e)
+                .map(|h| (tiny.other_endpoint(e, h), h))
+        },
+    );
+    println!("{dot}");
+}

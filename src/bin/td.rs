@@ -1,0 +1,254 @@
+//! `td` — command-line front end for the token-dropping toolkit.
+//!
+//! ```text
+//! td gen gnm <n> <m> [seed]          random G(n,m) edge list -> stdout
+//! td gen regular <n> <d> [seed]      random d-regular graph
+//! td gen tree <d> <depth>            perfect d-ary tree
+//! td gen comb <k>                    contention-comb token game (.tdg)
+//! td gen game <widths..> <deg> [seed] random layered token game (.tdg)
+//! td info <file>                     graph statistics
+//! td orient <file> [--distributed]   stable orientation + verification
+//! td game <file>                     solve a token game + verification
+//! td assign <file> --customers <nc> [--bounded <k>] [--optimal]
+//! ```
+//!
+//! `<file>` may be `-` for stdin. Graph files are edge lists
+//! (`td_graph::io`); game files use `td_core::game_io`.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::io::{BufReader, Read};
+use token_dropping::assign::semi_matching::optimal_semi_matching;
+use token_dropping::assign::AssignmentInstance;
+use token_dropping::core::{game_io, lockstep, TokenGame};
+use token_dropping::graph::{algo, io as gio, CsrGraph};
+use token_dropping::local::Simulator;
+use token_dropping::orient::phases::{solve_stable_orientation, PhaseConfig};
+use token_dropping::orient::protocol::run_distributed;
+use token_dropping::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = run(&args);
+    std::process::exit(code);
+}
+
+fn run(args: &[String]) -> i32 {
+    match args.first().map(String::as_str) {
+        Some("gen") => cmd_gen(&args[1..]),
+        Some("info") => cmd_info(&args[1..]),
+        Some("orient") => cmd_orient(&args[1..]),
+        Some("game") => cmd_game(&args[1..]),
+        Some("assign") => cmd_assign(&args[1..]),
+        _ => {
+            eprintln!("usage: td <gen|info|orient|game|assign> ... (see --help in README)");
+            2
+        }
+    }
+}
+
+fn read_input(path: &str) -> String {
+    let mut buf = String::new();
+    if path == "-" {
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .expect("read stdin");
+    } else {
+        buf = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(1);
+        });
+    }
+    buf
+}
+
+fn load_graph(path: &str) -> CsrGraph {
+    let text = read_input(path);
+    gio::read_edge_list(BufReader::new(text.as_bytes())).unwrap_or_else(|e| {
+        eprintln!("bad edge list: {e}");
+        std::process::exit(1);
+    })
+}
+
+fn cmd_gen(args: &[String]) -> i32 {
+    let seed_at = |i: usize| -> u64 {
+        args.get(i).and_then(|s| s.parse().ok()).unwrap_or(42)
+    };
+    match args.first().map(String::as_str) {
+        Some("gnm") => {
+            let (n, m) = (args[1].parse().unwrap(), args[2].parse().unwrap());
+            let g = token_dropping::graph::gen::random::gnm(n, m, &mut SmallRng::seed_from_u64(seed_at(3)));
+            gio::write_edge_list(&g, std::io::stdout().lock()).unwrap();
+            0
+        }
+        Some("regular") => {
+            let (n, d) = (args[1].parse().unwrap(), args[2].parse().unwrap());
+            match token_dropping::graph::gen::random::random_regular(
+                n,
+                d,
+                &mut SmallRng::seed_from_u64(seed_at(3)),
+                500,
+            ) {
+                Some(g) => {
+                    gio::write_edge_list(&g, std::io::stdout().lock()).unwrap();
+                    0
+                }
+                None => {
+                    eprintln!("no simple {d}-regular pairing found");
+                    1
+                }
+            }
+        }
+        Some("tree") => {
+            let (d, depth) = (args[1].parse().unwrap(), args[2].parse().unwrap());
+            let (g, _) =
+                token_dropping::graph::gen::structured::perfect_dary_tree(d, depth, 10_000_000);
+            gio::write_edge_list(&g, std::io::stdout().lock()).unwrap();
+            0
+        }
+        Some("comb") => {
+            let k = args[1].parse().unwrap();
+            let game = TokenGame::contention_comb(k);
+            game_io::write_game(&game, std::io::stdout().lock()).unwrap();
+            0
+        }
+        Some("game") => {
+            // td gen game w1,w2,w3 deg [seed]
+            let widths: Vec<usize> = args[1]
+                .split(',')
+                .map(|w| w.parse().expect("widths: comma-separated"))
+                .collect();
+            let deg = args[2].parse().unwrap();
+            let game = TokenGame::random(
+                &widths,
+                deg,
+                0.5,
+                &mut SmallRng::seed_from_u64(seed_at(3)),
+            );
+            game_io::write_game(&game, std::io::stdout().lock()).unwrap();
+            0
+        }
+        _ => {
+            eprintln!("usage: td gen <gnm|regular|tree|comb|game> ...");
+            2
+        }
+    }
+}
+
+fn cmd_info(args: &[String]) -> i32 {
+    let g = load_graph(args.first().map(String::as_str).unwrap_or("-"));
+    println!("nodes:      {}", g.num_nodes());
+    println!("edges:      {}", g.num_edges());
+    println!("max degree: {}", g.max_degree());
+    println!("connected:  {}", algo::is_connected(&g));
+    match algo::girth(&g) {
+        Some(c) => println!("girth:      {c}"),
+        None => println!("girth:      ∞ (forest)"),
+    }
+    let bip = token_dropping::graph::bipartite::bipartition(&g).is_some();
+    println!("bipartite:  {bip}");
+    0
+}
+
+fn cmd_orient(args: &[String]) -> i32 {
+    let path = args.first().map(String::as_str).unwrap_or("-");
+    let distributed = args.iter().any(|a| a == "--distributed");
+    let g = load_graph(path);
+    let orientation = if distributed {
+        let res = run_distributed(&g, &Simulator::sequential());
+        println!(
+            "# distributed protocol: {} LOCAL rounds, {} messages",
+            res.comm_rounds, res.messages
+        );
+        res.orientation
+    } else {
+        let res = solve_stable_orientation(&g, PhaseConfig::default());
+        println!(
+            "# phase driver: {} phases, {} derived LOCAL rounds",
+            res.phases, res.comm_rounds
+        );
+        res.orientation
+    };
+    orientation.verify_stable(&g).expect("output must be stable");
+    println!("# verified stable; edges as 'tail -> head':");
+    for (e, u, v) in g.edge_list() {
+        let head = orientation.head(e).unwrap();
+        let tail = if head == u { v } else { u };
+        println!("{} {}", tail.0, head.0);
+    }
+    0
+}
+
+fn cmd_game(args: &[String]) -> i32 {
+    let path = args.first().map(String::as_str).unwrap_or("-");
+    let text = read_input(path);
+    let game = game_io::read_game(BufReader::new(text.as_bytes())).unwrap_or_else(|e| {
+        eprintln!("bad game file: {e}");
+        std::process::exit(1);
+    });
+    let res = lockstep::run(&game);
+    verify_solution(&game, &res.solution).expect("solution must satisfy rules 1-3");
+    verify_dynamics(&game, &res.log).expect("dynamics must replay");
+    println!(
+        "# solved in {} game rounds ({} moves); traversals:",
+        res.rounds,
+        res.log.len()
+    );
+    for t in &res.solution.traversals {
+        let path: Vec<String> = t.path.iter().map(|v| v.0.to_string()).collect();
+        println!("{}", path.join(" "));
+    }
+    0
+}
+
+fn cmd_assign(args: &[String]) -> i32 {
+    let path = args.first().map(String::as_str).unwrap_or("-");
+    let mut customers: Option<usize> = None;
+    let mut bounded: Option<u32> = None;
+    let mut optimal = false;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--customers" => {
+                customers = Some(args[i + 1].parse().unwrap());
+                i += 2;
+            }
+            "--bounded" => {
+                bounded = Some(args[i + 1].parse().unwrap());
+                i += 2;
+            }
+            "--optimal" => {
+                optimal = true;
+                i += 1;
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                return 2;
+            }
+        }
+    }
+    let nc = customers.expect("--customers <nc> required");
+    let g = load_graph(path);
+    let inst = AssignmentInstance::from_bipartite_graph(&g, nc);
+    let assignment = if optimal {
+        let res = optimal_semi_matching(&inst);
+        println!("# optimal semi-matching, {} cost-reducing paths", res.paths_applied);
+        res.assignment
+    } else if let Some(k) = bounded {
+        let res = token_dropping::assign::bounded::solve_k_bounded(&inst, k);
+        res.assignment.verify_k_bounded(&inst, k).unwrap();
+        println!("# {k}-bounded stable, {} phases, {} LOCAL rounds", res.phases, res.comm_rounds);
+        res.assignment
+    } else {
+        let res = token_dropping::assign::phases::solve_stable_assignment(&inst);
+        res.assignment.verify_stable(&inst).unwrap();
+        println!("# stable, {} phases, {} LOCAL rounds", res.phases, res.comm_rounds);
+        res.assignment
+    };
+    println!("# cost = {}, max load = {}", assignment.cost(), assignment.max_load());
+    println!("# customer -> server:");
+    for c in 0..nc {
+        println!("{} {}", c, assignment.server_of(c).unwrap());
+    }
+    0
+}

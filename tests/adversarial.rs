@@ -1,0 +1,209 @@
+//! Failure-injection tests: corrupt valid outputs in targeted ways and
+//! assert that every independent verifier rejects the corruption. This
+//! guards the verifiers themselves — a verifier that accepts garbage would
+//! silently void every other test in the workspace.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use token_dropping::assign::phases::solve_stable_assignment;
+use token_dropping::assign::AssignmentInstance;
+use token_dropping::core::{lockstep, TokenGame};
+use token_dropping::graph::gen::random::gnm;
+use token_dropping::orient::phases::{solve_stable_orientation, PhaseConfig};
+use token_dropping::prelude::*;
+
+fn solved_game() -> (TokenGame, Solution, MoveLog) {
+    let mut rng = SmallRng::seed_from_u64(777);
+    // Dense-ish so corruption reliably collides with the rules.
+    let game = TokenGame::random(&[8, 8, 8, 8], 3, 0.6, &mut rng);
+    let res = lockstep::run(&game);
+    verify_solution(&game, &res.solution).unwrap();
+    verify_dynamics(&game, &res.log).unwrap();
+    (game, res.solution, res.log)
+}
+
+#[test]
+fn dropping_a_traversal_is_caught() {
+    let (game, mut sol, _) = solved_game();
+    assert!(game.token_count() >= 2, "need tokens to corrupt");
+    sol.traversals.pop();
+    assert!(verify_solution(&game, &sol).is_err());
+}
+
+#[test]
+fn duplicating_a_traversal_is_caught() {
+    let (game, mut sol, _) = solved_game();
+    let dup = sol.traversals[0].clone();
+    sol.traversals.push(dup);
+    assert!(verify_solution(&game, &sol).is_err());
+}
+
+#[test]
+fn truncating_a_moving_traversal_is_caught() {
+    let (game, sol, _) = solved_game();
+    // Truncate every traversal that moved; at least one corruption must be
+    // rejected (the truncated token sits on a node with a usable edge, or
+    // collides with another destination).
+    let mut any_rejected = false;
+    for i in 0..sol.traversals.len() {
+        if sol.traversals[i].hops() == 0 {
+            continue;
+        }
+        let mut bad = sol.clone();
+        bad.traversals[i].path.pop();
+        if verify_solution(&game, &bad).is_err() {
+            any_rejected = true;
+        }
+    }
+    assert!(any_rejected, "no truncation detected — verifier too lax");
+}
+
+#[test]
+fn redirecting_a_destination_is_caught() {
+    let (game, sol, _) = solved_game();
+    // Retarget a moving traversal's last hop onto another traversal's
+    // destination: must trip DuplicateDestination (or an edge rule).
+    let dests: Vec<NodeId> = sol.destinations().collect();
+    for i in 0..sol.traversals.len() {
+        if sol.traversals[i].hops() == 0 {
+            continue;
+        }
+        for &d in &dests {
+            if d == sol.traversals[i].destination() {
+                continue;
+            }
+            let mut bad = sol.clone();
+            let last = bad.traversals[i].path.len() - 1;
+            bad.traversals[i].path[last] = d;
+            assert!(
+                verify_solution(&game, &bad).is_err(),
+                "redirect to {d} accepted"
+            );
+        }
+        return; // one traversal suffices
+    }
+}
+
+#[test]
+fn shuffled_move_log_is_caught() {
+    let (game, _, log) = solved_game();
+    assert!(log.len() >= 2, "need moves to corrupt");
+    // Reverse the rounds: early moves depend on earlier occupancy, so the
+    // replay must fail somewhere.
+    let mut bad = log.clone();
+    let max_round = bad.events.iter().map(|e| e.round).max().unwrap();
+    for e in bad.events.iter_mut() {
+        e.round = max_round - e.round;
+    }
+    bad.events.sort_by_key(|e| e.round);
+    assert!(verify_dynamics(&game, &bad).is_err());
+}
+
+#[test]
+fn replayed_move_is_caught() {
+    let (game, _, log) = solved_game();
+    let mut bad = log.clone();
+    let mut dup = bad.events[0];
+    dup.round = bad.events.last().unwrap().round + 1;
+    bad.events.push(dup);
+    assert!(verify_dynamics(&game, &bad).is_err());
+}
+
+#[test]
+fn unstable_orientation_is_caught() {
+    let mut rng = SmallRng::seed_from_u64(778);
+    let g = gnm(30, 80, &mut rng);
+    let res = solve_stable_orientation(&g, PhaseConfig::default());
+    // Redirect every edge of the max-degree node inward: overload it.
+    let hub = g
+        .nodes()
+        .max_by_key(|&v| g.degree(v))
+        .unwrap();
+    let mut o = res.orientation.clone();
+    for p in 0..g.degree(hub) {
+        let e = g.edge_at(hub, Port::from(p));
+        if o.head(e) != Some(hub) {
+            o.flip(&g, e);
+        }
+    }
+    assert!(o.verify_stable(&g).is_err());
+}
+
+#[test]
+fn partially_unoriented_is_caught() {
+    let mut rng = SmallRng::seed_from_u64(779);
+    let g = gnm(20, 40, &mut rng);
+    let o = Orientation::unoriented(&g);
+    assert!(o.verify_stable(&g).is_err());
+}
+
+#[test]
+fn overloaded_assignment_is_caught() {
+    let mut rng = SmallRng::seed_from_u64(780);
+    let inst = AssignmentInstance::random(40, 8, 2..=3, &mut rng);
+    let res = solve_stable_assignment(&inst);
+    // Move every degree-≥2 customer onto its first listed server: some
+    // server ends up overloaded relative to an alternative.
+    let mut a = res.assignment.clone();
+    for c in 0..inst.num_customers() {
+        let first = inst.servers_of(c)[0];
+        if a.server_of(c) != Some(first) {
+            a.reassign(c, first);
+        }
+    }
+    assert!(
+        a.verify_stable(&inst).is_err(),
+        "first-choice pile-up accepted as stable"
+    );
+}
+
+#[test]
+fn k_bounded_verifier_rejects_extreme_imbalance() {
+    // All customers on one server while another adjacent server is empty:
+    // even the weakest relaxation (k = 2) must reject.
+    let inst = AssignmentInstance::new(2, &vec![vec![0, 1]; 6]);
+    let mut a = token_dropping::assign::Assignment::unassigned(&inst);
+    for c in 0..6 {
+        a.assign(c, 0);
+    }
+    assert!(a.verify_k_bounded(&inst, 2).is_err());
+    assert!(a.verify_stable(&inst).is_err());
+}
+
+#[test]
+fn non_maximal_matching_is_caught() {
+    use token_dropping::core::matching::*;
+    let mut rng = SmallRng::seed_from_u64(781);
+    let g = token_dropping::graph::gen::random::random_bipartite(20, 20, 2..=3, &mut rng);
+    let side: Vec<u8> = (0..40).map(|v| if v < 20 { 1 } else { 0 }).collect();
+    let (matched, _) = maximal_matching_via_token_dropping(&g, &side);
+    assert!(is_maximal_matching(&g, &matched));
+    // Removing any edge from a maximal matching must break maximality
+    // (its endpoints become free and their edge is uncovered).
+    let mut bad = matched.clone();
+    bad.pop().unwrap();
+    assert!(!is_maximal_matching(&g, &bad));
+    // Adding any other edge must break the matching property.
+    let extra = g
+        .edges()
+        .find(|e| !matched.contains(e))
+        .expect("non-matching edge exists");
+    let mut bad = matched.clone();
+    bad.push(extra);
+    bad.sort_unstable();
+    assert!(!is_matching(&g, &bad));
+}
+
+#[test]
+fn suboptimal_semi_matching_is_caught() {
+    use token_dropping::assign::semi_matching::*;
+    let inst = AssignmentInstance::new(2, &[vec![0], vec![0], vec![0, 1]]);
+    let mut a = token_dropping::assign::Assignment::first_choice(&inst);
+    assert!(!is_optimal(&inst, &a));
+    let opt = optimal_semi_matching(&inst);
+    assert!(is_optimal(&inst, &opt.assignment));
+    // And after manually applying the improving path, optimality holds.
+    let path = find_cost_reducing_path_from(&inst, &a, 0).unwrap();
+    apply_path(&mut a, &path);
+    assert!(is_optimal(&inst, &a));
+}

@@ -1,0 +1,100 @@
+//! Integration tests for the `td` command-line tool: generate → solve →
+//! verify pipelines through the actual binary.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+const BIN: &str = env!("CARGO_BIN_EXE_td");
+
+fn run_td(args: &[&str], stdin: Option<&str>) -> (String, String, bool) {
+    let mut cmd = Command::new(BIN);
+    cmd.args(args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped());
+    if stdin.is_some() {
+        cmd.stdin(Stdio::piped());
+    }
+    let mut child = cmd.spawn().expect("spawn td");
+    if let Some(input) = stdin {
+        child
+            .stdin
+            .as_mut()
+            .unwrap()
+            .write_all(input.as_bytes())
+            .unwrap();
+    }
+    let out = child.wait_with_output().expect("td runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn gen_info_pipeline() {
+    let (edge_list, _, ok) = run_td(&["gen", "gnm", "25", "50", "3"], None);
+    assert!(ok);
+    assert!(edge_list.starts_with("25 50\n"));
+    let (info, _, ok) = run_td(&["info", "-"], Some(&edge_list));
+    assert!(ok);
+    assert!(info.contains("nodes:      25"));
+    assert!(info.contains("edges:      50"));
+}
+
+#[test]
+fn orient_produces_all_edges() {
+    let (edge_list, _, ok) = run_td(&["gen", "regular", "16", "3", "5"], None);
+    assert!(ok);
+    let (out, _, ok) = run_td(&["orient", "-"], Some(&edge_list));
+    assert!(ok, "orient failed: {out}");
+    assert!(out.contains("verified stable"));
+    let oriented = out.lines().filter(|l| !l.starts_with('#')).count();
+    assert_eq!(oriented, 16 * 3 / 2);
+}
+
+#[test]
+fn game_pipeline_solves_comb() {
+    let (game, _, ok) = run_td(&["gen", "comb", "5"], None);
+    assert!(ok);
+    let (out, _, ok) = run_td(&["game", "-"], Some(&game));
+    assert!(ok);
+    assert!(out.contains("solved in 5 game rounds"), "{out}");
+    // 5 traversals, each two nodes.
+    let traversals: Vec<&str> = out.lines().filter(|l| !l.starts_with('#')).collect();
+    assert_eq!(traversals.len(), 5);
+}
+
+#[test]
+fn assign_stable_and_bounded() {
+    // A 6-customer, 3-server bipartite graph: customers 0..6, servers 6..9.
+    let mut edges = String::from("9 12\n");
+    for c in 0..6 {
+        edges.push_str(&format!("{} {}\n", c, 6 + (c % 3)));
+        edges.push_str(&format!("{} {}\n", c, 6 + ((c + 1) % 3)));
+    }
+    let (out, err, ok) = run_td(&["assign", "-", "--customers", "6"], Some(&edges));
+    assert!(ok, "{err}");
+    assert!(out.contains("# stable"));
+    let (out, _, ok) = run_td(
+        &["assign", "-", "--customers", "6", "--bounded", "2"],
+        Some(&edges),
+    );
+    assert!(ok);
+    assert!(out.contains("2-bounded stable"));
+    let (out, _, ok) = run_td(
+        &["assign", "-", "--customers", "6", "--optimal"],
+        Some(&edges),
+    );
+    assert!(ok);
+    assert!(out.contains("optimal semi-matching"));
+}
+
+#[test]
+fn bad_input_fails_cleanly() {
+    let (_, err, ok) = run_td(&["info", "-"], Some("this is not a graph\n"));
+    assert!(!ok);
+    assert!(err.contains("bad edge list"));
+    let (_, _, ok) = run_td(&["nonsense"], None);
+    assert!(!ok);
+}

@@ -1,0 +1,165 @@
+//! One integration test per theorem: the paper's claims as executable
+//! assertions (shape checks with explicit constants; the benches measure
+//! the full sweeps).
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use token_dropping::assign::bounded::solve_2_bounded;
+use token_dropping::assign::phases::solve_stable_assignment;
+use token_dropping::assign::AssignmentInstance;
+use token_dropping::core::{lockstep, three_level, TokenGame};
+use token_dropping::graph::gen::random::gnm;
+use token_dropping::orient::phases::{solve_stable_orientation, PhaseConfig};
+use token_dropping::prelude::*;
+
+/// Theorem 4.1: the proposal algorithm solves token dropping in O(L·Δ²).
+#[test]
+fn theorem_4_1_token_dropping_round_bound() {
+    let mut rng = SmallRng::seed_from_u64(2001);
+    for &(w, l, d) in &[(10usize, 2usize, 2usize), (12, 4, 3), (16, 6, 4), (20, 3, 6)] {
+        let game = TokenGame::random(&vec![w; l + 1], d, 0.5, &mut rng);
+        let res = lockstep::run(&game);
+        verify_solution(&game, &res.solution).unwrap();
+        let (l, d) = (game.height() as u64, game.max_degree() as u64);
+        assert!(
+            (res.rounds as u64) <= 2 * l * d * d + l + d + 4,
+            "rounds {} for L = {l}, Δ = {d}",
+            res.rounds
+        );
+    }
+}
+
+/// Theorem 4.7: three-level games are solvable in O(Δ) rounds — and the
+/// general algorithm is measurably slower on the same instances as Δ grows.
+#[test]
+fn theorem_4_7_three_level_linear() {
+    let mut rng = SmallRng::seed_from_u64(2002);
+    for &d in &[4usize, 8, 16] {
+        let game = TokenGame::random(&[3 * d, 3 * d, 3 * d], d, 0.6, &mut rng);
+        let delta = game.max_degree() as u32;
+        let fast = three_level::run_lockstep(&game);
+        verify_solution(&game, &fast.solution).unwrap();
+        assert!(
+            fast.rounds <= 3 * delta + 6,
+            "3-level rounds {} vs Δ = {delta}",
+            fast.rounds
+        );
+        // The general proposal algorithm also solves it (correctness), with
+        // at least as many rounds on these adversarial instances.
+        let general = lockstep::run(&game);
+        verify_solution(&game, &general.solution).unwrap();
+    }
+}
+
+/// Theorem 4.6 (reduction direction): height-2 token dropping computes
+/// maximal matchings — certified on every instance.
+#[test]
+fn theorem_4_6_reduction_certificate() {
+    let mut rng = SmallRng::seed_from_u64(2003);
+    for _ in 0..10 {
+        let g = token_dropping::graph::gen::random::random_bipartite(30, 30, 1..=5, &mut rng);
+        let side: Vec<u8> = (0..60).map(|v| if v < 30 { 1 } else { 0 }).collect();
+        let (m, _) =
+            token_dropping::core::matching::maximal_matching_via_token_dropping(&g, &side);
+        assert!(token_dropping::core::matching::is_maximal_matching(&g, &m));
+    }
+}
+
+/// Theorem 5.1 + Lemma 5.5: stable orientation in O(Δ) phases, O(Δ⁴) rounds.
+#[test]
+fn theorem_5_1_stable_orientation() {
+    let mut rng = SmallRng::seed_from_u64(2004);
+    for &(n, m) in &[(30usize, 60usize), (50, 150), (70, 280)] {
+        let g = gnm(n, m, &mut rng);
+        let d = g.max_degree() as u64;
+        let res = solve_stable_orientation(&g, PhaseConfig::default());
+        res.orientation.verify_stable(&g).unwrap();
+        assert!(res.phases as u64 <= 2 * d + 2, "Lemma 5.5");
+        assert!(res.comm_rounds <= 8 * d.pow(4) + 64, "Theorem 5.1 shape");
+        assert_eq!(res.invariant_violations, 0, "Lemma 5.4");
+    }
+}
+
+/// Theorem 6.3's certificates (Lemmas 6.1 and 6.2) on fresh instances.
+#[test]
+fn theorem_6_3_certificates() {
+    use token_dropping::graph::gen::structured::{high_girth_regular, perfect_dary_tree};
+    use token_dropping::orient::lower_bound::*;
+    let mut rng = SmallRng::seed_from_u64(2005);
+
+    let (tree, _) = perfect_dary_tree(4, 4, 100_000);
+    let res = solve_stable_orientation(&tree, PhaseConfig::default());
+    check_tree_indegree_bound(&tree, &res.orientation).unwrap();
+
+    let g = high_girth_regular(48, 4, 5, &mut rng, 80).expect("construction converges");
+    assert!(token_dropping::graph::algo::girth(&g).unwrap() >= 5);
+    let res = solve_stable_orientation(&g, PhaseConfig::default());
+    let (ok, _) = check_regular_indegree_lb(&g, &res.orientation, 4);
+    assert!(ok);
+}
+
+/// Theorem 7.3 + Lemma 7.2: stable assignment in O(C·S) phases.
+#[test]
+fn theorem_7_3_stable_assignment() {
+    let mut rng = SmallRng::seed_from_u64(2006);
+    for _ in 0..5 {
+        let inst = AssignmentInstance::random(70, 14, 2..=5, &mut rng);
+        let (c, s) = (
+            inst.max_customer_degree() as u64,
+            inst.max_server_degree() as u64,
+        );
+        let res = solve_stable_assignment(&inst);
+        res.assignment.verify_stable(&inst).unwrap();
+        assert!(res.phases as u64 <= 2 * c * s + 2, "Lemma 7.2");
+        assert_eq!(res.invariant_violations, 0);
+    }
+}
+
+/// Theorem 7.5: the 2-bounded problem's per-phase token dropping runs in
+/// O(S) rounds (3-level instances).
+#[test]
+fn theorem_7_5_bounded_per_phase_linear() {
+    let mut rng = SmallRng::seed_from_u64(2007);
+    let inst = AssignmentInstance::random(100, 12, 2..=5, &mut rng);
+    let s = inst.max_server_degree() as u32;
+    let res = solve_2_bounded(&inst);
+    res.assignment.verify_k_bounded(&inst, 2).unwrap();
+    for st in &res.stats {
+        assert!(st.td_rounds <= 3 * s + 4);
+    }
+}
+
+/// Theorem 7.4 (reduction direction): 2-bounded stable assignment + one
+/// round yields a maximal matching.
+#[test]
+fn theorem_7_4_reduction_certificate() {
+    let mut rng = SmallRng::seed_from_u64(2008);
+    for _ in 0..10 {
+        let customers = 35;
+        let g = token_dropping::graph::gen::random::random_bipartite(
+            customers, 20, 1..=4, &mut rng,
+        );
+        let red = token_dropping::assign::matching_reduction::maximal_matching_via_2_bounded(
+            &g, customers,
+        );
+        assert!(token_dropping::core::matching::is_maximal_matching(
+            &g,
+            &red.matching
+        ));
+    }
+}
+
+/// CHSW12 corollary: stable assignments 2-approximate optimal semi-matchings.
+#[test]
+fn two_approximation_certificate() {
+    use token_dropping::assign::semi_matching::*;
+    let mut rng = SmallRng::seed_from_u64(2009);
+    for _ in 0..5 {
+        let inst = AssignmentInstance::skewed(90, 12, 1..=3, 1.0, &mut rng);
+        let stable = solve_stable_assignment(&inst);
+        let opt = optimal_semi_matching(&inst);
+        let ratio = approximation_ratio(&stable.assignment, &opt.assignment);
+        assert!(ratio <= 2.0, "ratio {ratio}");
+        assert!(is_optimal(&inst, &opt.assignment));
+    }
+}
