@@ -273,8 +273,7 @@ mod tests {
     fn k_bounded_is_weaker() {
         // Loads (3, 1): exact badness 2 (unstable), but 2-bounded effective
         // loads are (2, 1): effective badness 1 -> 2-bounded stable.
-        let inst =
-            AssignmentInstance::new(2, &[vec![0, 1], vec![0, 1], vec![0, 1], vec![0, 1]]);
+        let inst = AssignmentInstance::new(2, &[vec![0, 1], vec![0, 1], vec![0, 1], vec![0, 1]]);
         let mut a = Assignment::unassigned(&inst);
         a.assign(0, 0);
         a.assign(1, 0);

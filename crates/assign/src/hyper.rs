@@ -197,7 +197,10 @@ pub fn run_proposal(game: &HyperGame) -> HyperResult {
 /// # Panics
 /// If the game has height > 2.
 pub fn run_three_level(game: &HyperGame) -> HyperResult {
-    assert!(game.height() <= 2, "3-level driver needs levels ⊆ {{0,1,2}}");
+    assert!(
+        game.height() <= 2,
+        "3-level driver needs levels ⊆ {{0,1,2}}"
+    );
     run_engine(game, true)
 }
 
@@ -500,11 +503,7 @@ mod tests {
         let g = HyperGame::new(
             vec![2, 1, 1, 0, 0],
             vec![true, true, false, false, false],
-            vec![
-                edge(0, &[0, 1, 2]),
-                edge(1, &[1, 3]),
-                edge(2, &[2, 3, 4]),
-            ],
+            vec![edge(0, &[0, 1, 2]), edge(1, &[1, 3]), edge(2, &[2, 3, 4])],
         )
         .unwrap();
         let res = run_three_level(&g);
@@ -514,12 +513,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "3-level driver")]
     fn three_level_rejects_tall_games() {
-        let g = HyperGame::new(
-            vec![0, 1, 2, 3],
-            vec![false; 4],
-            vec![edge(3, &[2, 3])],
-        )
-        .unwrap();
+        let g = HyperGame::new(vec![0, 1, 2, 3], vec![false; 4], vec![edge(3, &[2, 3])]).unwrap();
         let _ = run_three_level(&g);
     }
 

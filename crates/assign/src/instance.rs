@@ -73,12 +73,8 @@ impl AssignmentInstance {
         degree_range: std::ops::RangeInclusive<usize>,
         rng: &mut impl Rng,
     ) -> Self {
-        let g = td_graph::gen::random::random_bipartite(
-            num_customers,
-            num_servers,
-            degree_range,
-            rng,
-        );
+        let g =
+            td_graph::gen::random::random_bipartite(num_customers, num_servers, degree_range, rng);
         AssignmentInstance::from_bipartite_graph(&g, num_customers)
     }
 

@@ -123,7 +123,9 @@ pub(crate) fn run(inst: &AssignmentInstance, view: LoadView) -> AssignPhaseResul
         debug_assert!(!accepted.is_empty());
 
         // --- 3. Token dropping instance from badness-exactly-1 customers.
-        let levels: Vec<u32> = (0..ns as u32).map(|s| view.view(assignment.load(s))).collect();
+        let levels: Vec<u32> = (0..ns as u32)
+            .map(|s| view.view(assignment.load(s)))
+            .collect();
         let mut edges: Vec<HyperEdge> = Vec::new();
         let mut edge_customer: Vec<usize> = Vec::new();
         for c in 0..nc {
@@ -268,8 +270,9 @@ mod tests {
         // against the orientation crate on the same structure: a cycle of
         // servers where customer i connects servers i and i+1.
         let ns = 6;
-        let customers: Vec<Vec<u32>> =
-            (0..ns as u32).map(|i| vec![i, (i + 1) % ns as u32]).collect();
+        let customers: Vec<Vec<u32>> = (0..ns as u32)
+            .map(|i| vec![i, (i + 1) % ns as u32])
+            .collect();
         let inst = AssignmentInstance::new(ns, &customers);
         let res = solve_stable_assignment(&inst);
         res.assignment.verify_stable(&inst).unwrap();

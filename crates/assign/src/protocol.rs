@@ -314,10 +314,7 @@ impl Protocol for AssignNodeFull {
                     // cr1: accepts (block 0) / grants (blocks >= 1), plus
                     // occupancy broadcast.
                     if b == 0 {
-                        if let Some(&pi) = proposals
-                            .iter()
-                            .min_by_key(|&&pi| self.neighbors[pi])
-                        {
+                        if let Some(&pi) = proposals.iter().min_by_key(|&&pi| self.neighbors[pi]) {
                             s.out_buf[pi].accept = true;
                             s.occupied = true;
                         }
@@ -394,8 +391,7 @@ impl Protocol for AssignNodeFull {
                     // cr4: forward requests to the head.
                     if s.in_game && !s.consumed && !fwd.is_empty() {
                         let hp = s.head_port.unwrap() as usize;
-                        let mut children: Vec<u32> =
-                            fwd.iter().map(|&(child, _)| child).collect();
+                        let mut children: Vec<u32> = fwd.iter().map(|&(child, _)| child).collect();
                         children.sort_unstable();
                         s.out_buf[hp].fwd_requests = children;
                     }
@@ -454,6 +450,15 @@ pub struct DistributedAssignResult {
     pub messages: u64,
 }
 
+impl td_local::Summarize for DistributedAssignResult {
+    fn summary(&self) -> td_local::RunSummary {
+        td_local::RunSummary {
+            rounds: self.comm_rounds,
+            messages: self.messages,
+        }
+    }
+}
+
 /// Runs the distributed protocol on the bipartite graph of `inst`
 /// (customers are nodes `0..nc`, servers `nc..nc+ns`) and assembles the
 /// assignment. `k = None` solves the exact problem (Theorem 7.3);
@@ -469,8 +474,11 @@ pub fn run_distributed_assignment(
     let mut b = td_graph::GraphBuilder::new(nc + ns);
     for c in 0..nc {
         for &srv in inst.servers_of(c) {
-            b.add_edge(td_graph::NodeId::from(c), td_graph::NodeId::from(nc + srv as usize))
-                .unwrap();
+            b.add_edge(
+                td_graph::NodeId::from(c),
+                td_graph::NodeId::from(nc + srv as usize),
+            )
+            .unwrap();
         }
     }
     let g: CsrGraph = b.build().unwrap();
@@ -487,7 +495,10 @@ pub fn run_distributed_assignment(
     let budget = total_rounds(c_max, s_max, k) + 16;
     let sim = sim.with_max_rounds(budget.min(u32::MAX as u64) as u32);
     let outcome: SimOutcome<AssignOutput> = sim.run::<AssignNodeFull>(&g, &inputs);
-    assert!(outcome.completed, "distributed assignment hit the round cap");
+    assert!(
+        outcome.completed,
+        "distributed assignment hit the round cap"
+    );
 
     let mut assignment = Assignment::unassigned(inst);
     for c in 0..nc {

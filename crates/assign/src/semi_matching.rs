@@ -94,8 +94,7 @@ pub fn apply_path(a: &mut Assignment, path: &CostReducingPath) {
 /// criterion. (Independent of the solver's internals: it re-searches from
 /// every server.)
 pub fn is_optimal(inst: &AssignmentInstance, a: &Assignment) -> bool {
-    (0..inst.num_servers() as u32)
-        .all(|s| find_cost_reducing_path_from(inst, a, s).is_none())
+    (0..inst.num_servers() as u32).all(|s| find_cost_reducing_path_from(inst, a, s).is_none())
 }
 
 /// Result of the optimal solver.

@@ -34,5 +34,9 @@ fn bench_optimal_semi_matching(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_stable_assignment, bench_optimal_semi_matching);
+criterion_group!(
+    benches,
+    bench_stable_assignment,
+    bench_optimal_semi_matching
+);
 criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion bench over the Scenario registry: every registered scenario at
+//! a reduced size, sequential executor, so a single run sanity-checks the
+//! wall-clock cost of the whole workload surface after any engine change.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use td_bench::scenario::{registry, ScenarioKind};
+use td_local::Simulator;
+
+fn bench_registry(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scenarios");
+    group.sample_size(10);
+    let sim = Simulator::sequential();
+    for sc in registry() {
+        // Reduced sizes keep one bench pass fast even for the Θ(Δ⁴)
+        // distributed orientation budget.
+        let size = match sc.kind() {
+            ScenarioKind::Game => sc.default_size().min(8),
+            ScenarioKind::Orientation => {
+                if sc.name() == "cascade-orientation" {
+                    48
+                } else {
+                    3
+                }
+            }
+            ScenarioKind::Assignment => 8,
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(sc.name()), &size, |b, &size| {
+            b.iter(|| sc.run(size, 42, &sim))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_registry);
+criterion_main!(benches);

@@ -36,11 +36,9 @@ fn bench_three_level(c: &mut Criterion) {
     group.sample_size(10);
     for delta in [8usize, 16, 32] {
         let game = three_level_game(delta, 42);
-        group.bench_with_input(
-            BenchmarkId::new("specialised", delta),
-            &game,
-            |b, game| b.iter(|| three_level::run_lockstep(game)),
-        );
+        group.bench_with_input(BenchmarkId::new("specialised", delta), &game, |b, game| {
+            b.iter(|| three_level::run_lockstep(game))
+        });
         group.bench_with_input(BenchmarkId::new("general", delta), &game, |b, game| {
             b.iter(|| lockstep::run(game))
         });

@@ -1,6 +1,6 @@
 //! `repro` — regenerates every experiment table in EXPERIMENTS.md.
 //!
-//! Usage: `cargo run --release -p td-bench --bin repro -- [e1|e2|...|e13|all]`
+//! Usage: `cargo run --release -p td-bench --bin repro -- [e1|e2|...|e14|stress|scenarios|all]`
 //!
 //! Each experiment prints a table of *measured* quantities (rounds, phases,
 //! ratios) next to the paper's bound, so the shape claims — who wins, by
@@ -12,9 +12,8 @@ use std::time::Instant;
 use td_assign::bounded::solve_2_bounded;
 use td_assign::phases::solve_stable_assignment;
 use td_assign::semi_matching::{approximation_ratio, optimal_semi_matching};
-use td_assign::AssignmentInstance;
 use td_bench::workloads::*;
-use td_bench::{fit_power_law, mean, Table};
+use td_bench::{fit_power_law, mean, scenario, Table};
 use td_core::{greedy, lockstep, matching, proposal, three_level};
 use td_local::Simulator;
 use td_orient::baseline;
@@ -64,6 +63,9 @@ fn main() {
     if run("stress") {
         stress();
     }
+    if run("scenarios") {
+        scenarios();
+    }
     if run("e14") {
         e14();
     }
@@ -81,7 +83,14 @@ fn e1() {
     banner("E1", "Theorem 4.1: token dropping in O(L·Δ²) rounds");
     // Sweep Δ at fixed L.
     let levels = 4;
-    let mut t = Table::new(&["Δ", "L", "rounds(mean)", "rounds(max)", "bound L·Δ²", "comm rounds(protocol)"]);
+    let mut t = Table::new(&[
+        "Δ",
+        "L",
+        "rounds(mean)",
+        "rounds(max)",
+        "bound L·Δ²",
+        "comm rounds(protocol)",
+    ]);
     let mut xs = Vec::new();
     let mut ys = Vec::new();
     for &d in &[2usize, 4, 8, 16, 24] {
@@ -150,7 +159,10 @@ fn e1() {
 
 /// E2 — Theorem 4.7: 3-level games in O(Δ) vs the general algorithm.
 fn e2() {
-    banner("E2", "Theorem 4.7: 3-level games in O(Δ) rounds (vs general O(Δ²))");
+    banner(
+        "E2",
+        "Theorem 4.7: 3-level games in O(Δ) rounds (vs general O(Δ²))",
+    );
     let mut t = Table::new(&["Δ", "3-level rounds", "general rounds", "bound 3Δ"]);
     let (mut xs, mut ys3, mut ysg) = (Vec::new(), Vec::new(), Vec::new());
     for &d in &[2usize, 4, 8, 16, 32, 48] {
@@ -184,7 +196,10 @@ fn e2() {
 
 /// E3 — Theorem 4.6: maximal matching via height-2 token dropping.
 fn e3() {
-    banner("E3", "Theorem 4.6: maximal matching = height-2 token dropping");
+    banner(
+        "E3",
+        "Theorem 4.6: maximal matching = height-2 token dropping",
+    );
     let mut t = Table::new(&["Δ", "n(per side)", "rounds", "matched", "maximal?"]);
     for &d in &[2usize, 4, 8, 16, 32] {
         let g = matching_graph(20 * d, d, 7 + d as u64);
@@ -314,9 +329,7 @@ fn e4() {
             let b = baseline::run(&g, init, seed, 10_000_000);
             flips.push(b.flips as f64);
             let ours = solve_stable_orientation(&g, PhaseConfig::default());
-            moves.push(
-                ours.stats.iter().map(|s| s.td_moves as u64).sum::<u64>() as f64,
-            );
+            moves.push(ours.stats.iter().map(|s| s.td_moves as u64).sum::<u64>() as f64);
         }
         t.row(vec![
             d.to_string(),
@@ -333,7 +346,14 @@ fn e4() {
 /// E5 — Theorem 6.3 certificates and the stabilization probe.
 fn e5() {
     banner("E5", "Section 6: Ω(Δ) lower-bound certificates");
-    let mut t = Table::new(&["family", "Δ", "n", "Lemma", "certificate", "max stab. phase"]);
+    let mut t = Table::new(&[
+        "family",
+        "Δ",
+        "n",
+        "Lemma",
+        "certificate",
+        "max stab. phase",
+    ]);
     for &d in &[3usize, 4, 5, 6] {
         // Perfect d-ary trees (depth capped to keep n manageable).
         let depth = match d {
@@ -356,8 +376,7 @@ fn e5() {
         ]);
         // High-girth regular graphs.
         let mut rng = SmallRng::seed_from_u64(99 + d as u64);
-        if let Some(g) =
-            td_graph::gen::structured::high_girth_regular(30 * d, d, 5, &mut rng, 100)
+        if let Some(g) = td_graph::gen::structured::high_girth_regular(30 * d, d, 5, &mut rng, 100)
         {
             let res = solve_stable_orientation(&g, PhaseConfig::default());
             let (ok, max_in) = check_regular_indegree_lb(&g, &res.orientation, d);
@@ -379,9 +398,18 @@ fn e5() {
 
 /// E6 — Theorems 7.1/7.3: stable assignment over a (C, S) grid.
 fn e6() {
-    banner("E6", "Theorem 7.3: stable assignment in O(C·S⁴), O(C·S) phases");
+    banner(
+        "E6",
+        "Theorem 7.3: stable assignment in O(C·S⁴), O(C·S) phases",
+    );
     let mut t = Table::new(&[
-        "C", "S(max)", "customers", "phases", "bound 2CS", "comm rounds", "max td rounds/phase",
+        "C",
+        "S(max)",
+        "customers",
+        "phases",
+        "bound 2CS",
+        "comm rounds",
+        "max td rounds/phase",
     ]);
     for &c in &[2usize, 3, 5] {
         for &s_avg in &[4usize, 8, 16] {
@@ -399,9 +427,7 @@ fn e6() {
                 res.assignment.verify_stable(&inst).unwrap();
                 phases.push(res.phases as f64);
                 comm.push(res.comm_rounds as f64);
-                tdmax.push(
-                    res.stats.iter().map(|s| s.td_rounds).max().unwrap_or(0) as f64,
-                );
+                tdmax.push(res.stats.iter().map(|s| s.td_rounds).max().unwrap_or(0) as f64);
             }
             t.row(vec![
                 c.to_string(),
@@ -419,7 +445,10 @@ fn e6() {
 
 /// E7 — Theorem 7.5: 2-bounded vs exact stable assignment.
 fn e7() {
-    banner("E7", "Theorem 7.5: 2-bounded in O(C·S²) — per-phase TD rounds vs exact");
+    banner(
+        "E7",
+        "Theorem 7.5: 2-bounded in O(C·S²) — per-phase TD rounds vs exact",
+    );
     let mut t = Table::new(&[
         "S(max)",
         "exact max td/phase",
@@ -469,25 +498,21 @@ fn e7() {
 
 /// E8 — stable assignment 2-approximates the optimal semi-matching.
 fn e8() {
-    banner("E8", "[CHSW12]: stable assignment is a 2-approx of optimal semi-matching");
+    banner(
+        "E8",
+        "[CHSW12]: stable assignment is a 2-approx of optimal semi-matching",
+    );
     let mut t = Table::new(&["workload", "cost(stable)", "cost(opt)", "ratio", "≤ 2?"]);
     let mut worst: f64 = 1.0;
-    for (label, skew) in [("uniform", None), ("zipf α=1.0", Some(1.0)), ("zipf α=1.4", Some(1.4))] {
+    for (label, skew) in [
+        ("uniform", None),
+        ("zipf α=1.0", Some(1.0)),
+        ("zipf α=1.4", Some(1.4)),
+    ] {
         for &seed in &SEEDS {
             let inst = match skew {
-                None => AssignmentInstance::random(
-                    300,
-                    30,
-                    1..=3,
-                    &mut SmallRng::seed_from_u64(seed),
-                ),
-                Some(a) => AssignmentInstance::skewed(
-                    300,
-                    30,
-                    1..=3,
-                    a,
-                    &mut SmallRng::seed_from_u64(seed),
-                ),
+                None => uniform_assignment(300, 30, seed),
+                Some(a) => skewed_assignment(300, 30, a, seed),
             };
             let stable = solve_stable_assignment(&inst);
             stable.assignment.verify_stable(&inst).unwrap();
@@ -512,13 +537,22 @@ fn e8() {
 
 /// E9 — Theorem 7.4: maximal matching from a 2-bounded stable assignment.
 fn e9() {
-    banner("E9", "Theorem 7.4: maximal matching from 2-bounded stable assignment (+1 round)");
-    let mut t = Table::new(&["Δ", "n(per side)", "phases", "comm rounds", "matched", "maximal?"]);
+    banner(
+        "E9",
+        "Theorem 7.4: maximal matching from 2-bounded stable assignment (+1 round)",
+    );
+    let mut t = Table::new(&[
+        "Δ",
+        "n(per side)",
+        "phases",
+        "comm rounds",
+        "matched",
+        "maximal?",
+    ]);
     for &d in &[2usize, 4, 8, 16] {
         let nc = 15 * d;
         let g = matching_graph(nc, d, 31 + d as u64);
-        let red =
-            td_assign::matching_reduction::maximal_matching_via_2_bounded(&g, nc);
+        let red = td_assign::matching_reduction::maximal_matching_via_2_bounded(&g, nc);
         let ok = matching::is_maximal_matching(&g, &red.matching);
         assert!(ok);
         t.row(vec![
@@ -547,9 +581,13 @@ fn stress() {
         let game = td_core::TokenGame::contention_comb(k);
         let res = lockstep::run(&game);
         td_core::verify_solution(&game, &res.solution).unwrap();
+        // The protocol-side measurement goes through the scenario registry —
+        // the same entry `td bench contention-comb` runs.
         let comm = if k <= 16 {
-            proposal::run_on_simulator(&game, &Simulator::sequential())
-                .comm_rounds
+            scenario::find("contention-comb")
+                .expect("registered scenario")
+                .run(k as u32, 0, &Simulator::sequential())
+                .rounds
                 .to_string()
         } else {
             "-".into()
@@ -582,6 +620,37 @@ fn stress() {
         ]);
     }
     t.print();
+}
+
+/// SCENARIOS — every entry of the td-bench scenario registry, run through
+/// the same `Scenario::run` interface the `td bench` CLI and the criterion
+/// benches use. Each run self-verifies (stability, rules 1–3, boundedness).
+fn scenarios() {
+    banner(
+        "SCENARIOS",
+        "the scenario registry end-to-end (same entries as `td bench`)",
+    );
+    let sim = Simulator::sequential();
+    let mut t = Table::new(&[
+        "scenario", "kind", "size", "seed", "nodes", "edges", "rounds", "messages", "notes",
+    ]);
+    for s in scenario::registry() {
+        let rep = s.run(s.default_size(), SEEDS[0], &sim);
+        let notes: Vec<String> = rep.notes.iter().map(|(k, v)| format!("{k}: {v}")).collect();
+        t.row(vec![
+            rep.scenario.to_string(),
+            s.kind().label().to_string(),
+            rep.size.to_string(),
+            rep.seed.to_string(),
+            rep.nodes.to_string(),
+            rep.edges.to_string(),
+            rep.rounds.to_string(),
+            rep.messages.to_string(),
+            notes.join("; "),
+        ]);
+    }
+    t.print();
+    println!("(every row verified its own output; see also `td bench <name> --size N`)");
 }
 
 /// E12 — ablation: careful proposals (paper) vs load-blind proposals.
@@ -652,7 +721,10 @@ fn e12() {
         }
         prev = snap;
     }
-    println!("phase trajectory on Δ=8 instance: last change at phase {changed_at} of {}", full.phases);
+    println!(
+        "phase trajectory on Δ=8 instance: last change at phase {changed_at} of {}",
+        full.phases
+    );
 }
 
 /// E14 — the fully distributed orientation protocol: explicit Θ(Δ⁴) rounds.
@@ -692,8 +764,13 @@ fn e14() {
 
 /// E13 — simulator scaling: wall-clock vs threads (round counts identical).
 fn e13() {
-    banner("E13", "HPC substrate: parallel executor scaling (outputs identical)");
-    let cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
+    banner(
+        "E13",
+        "HPC substrate: parallel executor scaling (outputs identical)",
+    );
+    let cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
     // A large flat game so per-round work dominates barrier overhead.
     let mut rng = SmallRng::seed_from_u64(1234);
     let game = td_core::TokenGame::random(&[120_000, 120_000, 120_000, 120_000], 6, 0.5, &mut rng);
@@ -704,7 +781,13 @@ fn e13() {
         game.max_degree(),
         game.token_count()
     );
-    let mut t = Table::new(&["executor", "comm rounds", "messages", "wall time (ms)", "speedup"]);
+    let mut t = Table::new(&[
+        "executor",
+        "comm rounds",
+        "messages",
+        "wall time (ms)",
+        "speedup",
+    ]);
     let t0 = Instant::now();
     let seq = proposal::run_on_simulator(&game, &Simulator::sequential());
     let seq_ms = t0.elapsed().as_secs_f64() * 1e3;

@@ -1,5 +1,6 @@
-//! Shared harness code for the reproduction experiments: workload builders
-//! with controlled (Δ, L, C, S) parameters, aligned table printing, and
+//! Shared harness code for the reproduction experiments: the [`scenario`]
+//! registry (named workloads behind one interface), workload builders with
+//! controlled (Δ, L, C, S) parameters, aligned table printing, and
 //! growth-rate fitting for the shape checks in EXPERIMENTS.md.
 
 use rand::rngs::SmallRng;
@@ -7,6 +8,10 @@ use rand::SeedableRng;
 use td_assign::AssignmentInstance;
 use td_core::TokenGame;
 use td_graph::CsrGraph;
+
+pub mod scenario;
+
+pub use scenario::{Scenario, ScenarioKind, ScenarioReport};
 
 /// Workload builders with controlled parameters.
 pub mod workloads {
@@ -51,6 +56,21 @@ pub mod workloads {
         let mut rng = SmallRng::seed_from_u64(seed);
         let nc = (s_avg * ns) / c.max(1);
         AssignmentInstance::random(nc.max(1), ns, c..=c, &mut rng)
+    }
+
+    /// A uniform random assignment instance: `nc` customers picking 1–3
+    /// candidate servers uniformly over `ns` servers.
+    pub fn uniform_assignment(nc: usize, ns: usize, seed: u64) -> AssignmentInstance {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        AssignmentInstance::random(nc, ns, 1..=3, &mut rng)
+    }
+
+    /// A Zipf-skewed assignment instance (exponent `alpha`): popular servers
+    /// attract most of the 1–3 candidate choices — the "hot server" workload
+    /// of the load-balancing example, the server-farm scenario, and E8.
+    pub fn skewed_assignment(nc: usize, ns: usize, alpha: f64, seed: u64) -> AssignmentInstance {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        AssignmentInstance::skewed(nc, ns, 1..=3, alpha, &mut rng)
     }
 
     /// A bipartite graph for matching reductions: `nc` customers of degree

@@ -45,12 +45,7 @@ impl From<std::io::Error> for GameReadError {
 
 /// Writes a game in the text format.
 pub fn write_game(game: &TokenGame, mut w: impl Write) -> std::io::Result<()> {
-    writeln!(
-        w,
-        "{} {}",
-        game.num_nodes(),
-        game.graph().num_edges()
-    )?;
+    writeln!(w, "{} {}", game.num_nodes(), game.graph().num_edges())?;
     for v in game.graph().nodes() {
         writeln!(w, "{} {}", game.level(v), game.has_token(v) as u8)?;
     }

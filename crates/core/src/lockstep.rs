@@ -137,13 +137,13 @@ pub fn run_with_cap(game: &TokenGame, max_rounds: u32) -> LockstepResult {
             }
             let node = NodeId::from(v);
             let terminate = if occupied[v] {
-                !game.children(node).any(|(p, c)| {
-                    !consumed[g.edge_at(node, p).idx()] && alive[c.idx()]
-                })
+                !game
+                    .children(node)
+                    .any(|(p, c)| !consumed[g.edge_at(node, p).idx()] && alive[c.idx()])
             } else {
-                !game.parents(node).any(|(p, par)| {
-                    !consumed[g.edge_at(node, p).idx()] && alive[par.idx()]
-                })
+                !game
+                    .parents(node)
+                    .any(|(p, par)| !consumed[g.edge_at(node, p).idx()] && alive[par.idx()])
             };
             if terminate {
                 dying.push(v);
@@ -189,7 +189,10 @@ mod tests {
         let res = run(&game);
         verify_solution(&game, &res.solution).unwrap();
         verify_dynamics(&game, &res.log).unwrap();
-        assert_eq!(res.solution.traversals[0].path, vec![NodeId(2), NodeId(1), NodeId(0)]);
+        assert_eq!(
+            res.solution.traversals[0].path,
+            vec![NodeId(2), NodeId(1), NodeId(0)]
+        );
     }
 
     #[test]
@@ -254,8 +257,7 @@ mod tests {
             let widths = [8, 8, 8, 8];
             let game = TokenGame::random(&widths, 3, 0.45, &mut rng);
             let res = run(&game);
-            verify_solution(&game, &res.solution)
-                .unwrap_or_else(|e| panic!("trial {trial}: {e}"));
+            verify_solution(&game, &res.solution).unwrap_or_else(|e| panic!("trial {trial}: {e}"));
             verify_dynamics(&game, &res.log).unwrap_or_else(|e| panic!("trial {trial}: {e}"));
         }
     }

@@ -16,10 +16,7 @@ use td_graph::{CsrGraph, EdgeId, NodeId};
 ///
 /// `side[v] ∈ {0, 1}` must be a proper 2-coloring. Returns the matched edges
 /// and the number of game rounds used.
-pub fn maximal_matching_via_token_dropping(
-    graph: &CsrGraph,
-    side: &[u8],
-) -> (Vec<EdgeId>, u32) {
+pub fn maximal_matching_via_token_dropping(graph: &CsrGraph, side: &[u8]) -> (Vec<EdgeId>, u32) {
     let game = TokenGame::from_bipartite_for_matching(graph.clone(), side)
         .expect("side array must 2-color the graph");
     let res = lockstep::run(&game);

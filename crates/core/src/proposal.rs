@@ -27,8 +27,8 @@
 
 use crate::game::TokenGame;
 use crate::solution::{MoveEvent, MoveLog, Solution};
-use td_local::{Inbox, NodeInit, Outbox, Protocol, RoundCtx, SimOutcome, Simulator, Status};
 use td_graph::{NodeId, Port};
+use td_local::{Inbox, NodeInit, Outbox, Protocol, RoundCtx, SimOutcome, Simulator, Status};
 
 /// Per-node input: the node's level and whether it initially holds a token.
 #[derive(Clone, Copy, Debug)]
@@ -243,10 +243,13 @@ impl Protocol for ProposalNode {
                 let mut best: Option<usize> = None;
                 for i in self.alive_ports() {
                     let p = self.ports[i];
-                    if p.kind == PortKind::Parent && !p.consumed && p.parent_occupied
-                        && best.is_none_or(|b| p.neighbor < self.ports[b].neighbor) {
-                            best = Some(i);
-                        }
+                    if p.kind == PortKind::Parent
+                        && !p.consumed
+                        && p.parent_occupied
+                        && best.is_none_or(|b| p.neighbor < self.ports[b].neighbor)
+                    {
+                        best = Some(i);
+                    }
                 }
                 if let Some(i) = best {
                     self.out_buf[i].request = true;
@@ -260,7 +263,8 @@ impl Protocol for ProposalNode {
                 for &i in &requests {
                     let p = self.ports[i];
                     debug_assert_eq!(p.kind, PortKind::Child);
-                    if p.alive && !p.consumed
+                    if p.alive
+                        && !p.consumed
                         && best.is_none_or(|b| p.neighbor < self.ports[b].neighbor)
                     {
                         best = Some(i);
@@ -327,6 +331,15 @@ pub struct ProtocolRunResult {
     pub messages: u64,
 }
 
+impl td_local::Summarize for ProtocolRunResult {
+    fn summary(&self) -> td_local::RunSummary {
+        td_local::RunSummary {
+            rounds: self.comm_rounds,
+            messages: self.messages,
+        }
+    }
+}
+
 /// Runs the protocol on `sim` and reconstructs the global solution.
 ///
 /// # Panics
@@ -367,8 +380,11 @@ mod tests {
     use td_graph::CsrGraph;
 
     fn sorted_events(log: &MoveLog) -> Vec<(u32, u32, u32)> {
-        let mut v: Vec<(u32, u32, u32)> =
-            log.events.iter().map(|e| (e.round, e.from.0, e.to.0)).collect();
+        let mut v: Vec<(u32, u32, u32)> = log
+            .events
+            .iter()
+            .map(|e| (e.round, e.from.0, e.to.0))
+            .collect();
         v.sort_unstable();
         v
     }

@@ -227,7 +227,10 @@ mod tests {
         };
         let sol = Solution::from_moves(&game, &log);
         assert_eq!(sol.traversals.len(), 1);
-        assert_eq!(sol.traversals[0].path, vec![NodeId(2), NodeId(1), NodeId(0)]);
+        assert_eq!(
+            sol.traversals[0].path,
+            vec![NodeId(2), NodeId(1), NodeId(0)]
+        );
         assert_eq!(sol.traversals[0].hops(), 2);
         assert_eq!(sol.edges_consumed(), 2);
     }

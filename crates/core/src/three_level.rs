@@ -152,25 +152,25 @@ pub fn run_lockstep(game: &TokenGame) -> ThreeLevelResult {
                 // the game would never terminate globally).
                 2 => {
                     !occupied[v]
-                        || !game.children(node).any(|(p, c)| {
-                            !consumed[g.edge_at(node, p).idx()] && alive[c.idx()]
-                        })
+                        || !game
+                            .children(node)
+                            .any(|(p, c)| !consumed[g.edge_at(node, p).idx()] && alive[c.idx()])
                 }
                 0 => {
                     occupied[v]
-                        || !game.parents(node).any(|(p, par)| {
-                            !consumed[g.edge_at(node, p).idx()] && alive[par.idx()]
-                        })
+                        || !game
+                            .parents(node)
+                            .any(|(p, par)| !consumed[g.edge_at(node, p).idx()] && alive[par.idx()])
                 }
                 _ => {
                     if occupied[v] {
-                        !game.children(node).any(|(p, c)| {
-                            !consumed[g.edge_at(node, p).idx()] && alive[c.idx()]
-                        })
+                        !game
+                            .children(node)
+                            .any(|(p, c)| !consumed[g.edge_at(node, p).idx()] && alive[c.idx()])
                     } else {
-                        !game.parents(node).any(|(p, par)| {
-                            !consumed[g.edge_at(node, p).idx()] && alive[par.idx()]
-                        })
+                        !game
+                            .parents(node)
+                            .any(|(p, par)| !consumed[g.edge_at(node, p).idx()] && alive[par.idx()])
                     }
                 }
             };
@@ -387,10 +387,14 @@ impl Protocol for ThreeLevelNode {
                 if !self.occupied {
                     let mut best: Option<usize> = None;
                     for (i, p) in self.ports.iter().enumerate() {
-                        if p.alive && !p.consumed && p.is_parent && p.other_occupied
-                            && best.is_none_or(|b: usize| p.neighbor < self.ports[b].neighbor) {
-                                best = Some(i);
-                            }
+                        if p.alive
+                            && !p.consumed
+                            && p.is_parent
+                            && p.other_occupied
+                            && best.is_none_or(|b: usize| p.neighbor < self.ports[b].neighbor)
+                        {
+                            best = Some(i);
+                        }
                     }
                     if let Some(i) = best {
                         self.out_buf[i].request = true;
@@ -398,10 +402,14 @@ impl Protocol for ThreeLevelNode {
                 } else if self.pending_proposal.is_none() {
                     let mut best: Option<usize> = None;
                     for (i, p) in self.ports.iter().enumerate() {
-                        if p.alive && !p.consumed && !p.is_parent && !p.other_occupied
-                            && best.is_none_or(|b: usize| p.neighbor < self.ports[b].neighbor) {
-                                best = Some(i);
-                            }
+                        if p.alive
+                            && !p.consumed
+                            && !p.is_parent
+                            && !p.other_occupied
+                            && best.is_none_or(|b: usize| p.neighbor < self.ports[b].neighbor)
+                        {
+                            best = Some(i);
+                        }
                     }
                     if let Some(i) = best {
                         self.out_buf[i].propose = true;
@@ -522,12 +530,7 @@ mod tests {
     use rand::SeedableRng;
     use td_graph::CsrGraph;
 
-    fn random_3level(
-        w: usize,
-        deg: usize,
-        density: f64,
-        rng: &mut SmallRng,
-    ) -> TokenGame {
+    fn random_3level(w: usize, deg: usize, density: f64, rng: &mut SmallRng) -> TokenGame {
         TokenGame::random(&[w, w, w], deg, density, rng)
     }
 
@@ -550,8 +553,7 @@ mod tests {
         for trial in 0..30 {
             let game = random_3level(10, 3, 0.5, &mut rng);
             let res = run_lockstep(&game);
-            verify_solution(&game, &res.solution)
-                .unwrap_or_else(|e| panic!("trial {trial}: {e}"));
+            verify_solution(&game, &res.solution).unwrap_or_else(|e| panic!("trial {trial}: {e}"));
             verify_dynamics(&game, &res.log).unwrap_or_else(|e| panic!("trial {trial}: {e}"));
         }
     }
@@ -564,8 +566,11 @@ mod tests {
             let lock = run_lockstep(&game);
             let proto = run_protocol(&game, &Simulator::sequential());
             let key = |log: &MoveLog| {
-                let mut v: Vec<(u32, u32, u32)> =
-                    log.events.iter().map(|e| (e.round, e.from.0, e.to.0)).collect();
+                let mut v: Vec<(u32, u32, u32)> = log
+                    .events
+                    .iter()
+                    .map(|e| (e.round, e.from.0, e.to.0))
+                    .collect();
                 v.sort_unstable();
                 v
             };
@@ -582,19 +587,14 @@ mod tests {
             let game = random_3level(3 * deg, deg, 0.6, &mut rng);
             let d = game.max_degree() as u32;
             let res = run_lockstep(&game);
-            assert!(
-                res.rounds <= 3 * d + 6,
-                "rounds {} vs Δ = {d}",
-                res.rounds
-            );
+            assert!(res.rounds <= 3 * d + 6, "rounds {} vs Δ = {d}", res.rounds);
         }
     }
 
     #[test]
     fn height_guard() {
         let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
-        let game =
-            TokenGame::new(g, vec![0, 1, 2, 3], vec![false; 4]).unwrap();
+        let game = TokenGame::new(g, vec![0, 1, 2, 3], vec![false; 4]).unwrap();
         let result = std::panic::catch_unwind(|| run_lockstep(&game));
         assert!(result.is_err());
     }

@@ -170,9 +170,7 @@ impl std::error::Error for DynamicsViolation {}
 /// both sends and receives in one round (our engines are move-synchronous).
 pub fn verify_dynamics(game: &TokenGame, log: &MoveLog) -> Result<(), DynamicsViolation> {
     let n = game.num_nodes();
-    let mut occupied: Vec<bool> = (0..n)
-        .map(|v| game.has_token(NodeId::from(v)))
-        .collect();
+    let mut occupied: Vec<bool> = (0..n).map(|v| game.has_token(NodeId::from(v))).collect();
     let mut consumed: HashSet<td_graph::EdgeId> = HashSet::new();
 
     let mut i = 0;
@@ -300,8 +298,7 @@ mod tests {
     #[test]
     fn rejects_ascending_and_non_edges() {
         let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
-        let game =
-            TokenGame::new(g, vec![0, 1, 2, 3], vec![false, true, true, false]).unwrap();
+        let game = TokenGame::new(g, vec![0, 1, 2, 3], vec![false, true, true, false]).unwrap();
         // Ascending step 1 -> 2.
         let sol = Solution {
             traversals: vec![

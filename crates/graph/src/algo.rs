@@ -201,9 +201,8 @@ mod tests {
     #[test]
     fn girth_even_cycle_with_chord() {
         // C6 plus a chord splitting it into a C4 and a C4.
-        let g =
-            CsrGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3)])
-                .unwrap();
+        let g = CsrGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3)])
+            .unwrap();
         assert_eq!(girth(&g), Some(4));
     }
 
@@ -211,8 +210,8 @@ mod tests {
     fn diameter_of_path_and_cycle() {
         let p = CsrGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
         assert_eq!(diameter(&p), Some(4));
-        let c6 = CsrGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)])
-            .unwrap();
+        let c6 =
+            CsrGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]).unwrap();
         assert_eq!(diameter(&c6), Some(3));
         let disc = CsrGraph::from_edges(3, &[(0, 1)]).unwrap();
         assert_eq!(diameter(&disc), None);

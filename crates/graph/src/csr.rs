@@ -252,7 +252,11 @@ impl CsrGraph {
                     return Err(format!("edge id out of range at slot {s}"));
                 }
                 let (a, b) = self.endpoints[e];
-                let (x, y) = if (v as u32) < u { (v as u32, u) } else { (u, v as u32) };
+                let (x, y) = if (v as u32) < u {
+                    (v as u32, u)
+                } else {
+                    (u, v as u32)
+                };
                 if (a, b) != (x, y) {
                     return Err(format!("endpoints of e{e} disagree with slot {s}"));
                 }

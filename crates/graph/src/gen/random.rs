@@ -101,7 +101,12 @@ fn unrank_pair(rank: u64, n: u64) -> (u64, u64) {
 ///
 /// # Panics
 /// If `n * d` is odd or `d >= n`.
-pub fn random_regular(n: usize, d: usize, rng: &mut impl Rng, max_attempts: usize) -> Option<CsrGraph> {
+pub fn random_regular(
+    n: usize,
+    d: usize,
+    rng: &mut impl Rng,
+    max_attempts: usize,
+) -> Option<CsrGraph> {
     assert!(d < n, "degree must be < n");
     assert!((n * d).is_multiple_of(2), "n * d must be even");
     if d == 0 {
@@ -164,7 +169,10 @@ pub fn random_bipartite(
     let mut b = GraphBuilder::new(n);
     let lo = *degree_range.start();
     let hi = *degree_range.end();
-    assert!(lo <= hi && lo >= 1, "degree range must be non-empty and >= 1");
+    assert!(
+        lo <= hi && lo >= 1,
+        "degree range must be non-empty and >= 1"
+    );
     for c in 0..customers {
         let want = rng.gen_range(lo..=hi).min(servers);
         let mut picked = HashSet::with_capacity(want);

@@ -1,0 +1,249 @@
+//! The message plane: a double-buffered, stamp-validated **flat arena**.
+//!
+//! One arena slot exists per *directed* edge slot of the CSR graph (the slot
+//! of `(receiver, port)`, i.e. one per `EdgeId` per direction), so a node's
+//! inbox is a contiguous run of slots. The arena is allocated **once** per
+//! simulation; after that warm-up the hot loop performs **zero message
+//! allocations**: sending overwrites the slot's payload in place, and
+//! "delivering" a round's messages is a logical **buffer swap** — a parity
+//! flip selecting which of the two buffers is read and which is written,
+//! moving no data.
+//!
+//! ## Layout
+//!
+//! Each slot is a bare `(stamp, payload)` pair — **no `Option`**. The
+//! payload is always initialized (`M: Default` seeds the arena) and validity
+//! is tracked *only* by the stamp: a slot's content counts as a message for
+//! round `r` iff its stamp equals `r`. This removes the `Option`
+//! discriminant write from the send path and the discriminant branch from
+//! the receive path, keeps stamp and payload on the same cache line, and
+//! avoids an O(m) clear every round — crucial when round counts reach Θ(Δ⁴)
+//! on small graphs.
+//!
+//! ## Concurrency discipline
+//!
+//! The parallel executor relies on the structural one-writer-per-slot
+//! guarantee spelled out in [`crate::disjoint`]: within a round, the slot of
+//! `(receiver, port)` is written by exactly one node (the unique neighbor
+//! behind that port), every node is stepped by exactly one thread, and reads
+//! happen on the *other* buffer, separated by a barrier. The slot array is a
+//! [`DisjointSlots`], so the unsafe surface stays in one module.
+
+use crate::disjoint::DisjointSlots;
+use td_graph::CsrGraph;
+
+/// Stamp value meaning "never written". Rounds are capped strictly below
+/// `u32::MAX - 1` (the simulator asserts this), so no live stamp collides.
+pub const STAMP_EMPTY: u32 = u32::MAX;
+
+/// One message slot: the round the payload is addressed to, plus the payload
+/// itself (always initialized; meaningful only when the stamp matches).
+pub struct Slot<M> {
+    pub(crate) stamp: u32,
+    pub(crate) msg: M,
+}
+
+/// The double-buffered flat message arena of one simulation.
+///
+/// Allocated once (two buffers of `num_slots` slots each); reused across
+/// every round. `bufs[round % 2]` is the buffer *read* in `round` (written
+/// during `round - 1`).
+pub struct MessageArena<M> {
+    bufs: [DisjointSlots<Slot<M>>; 2],
+}
+
+impl<M: Default + Send> MessageArena<M> {
+    /// An arena with `slots` directed-edge slots per buffer.
+    pub fn with_slots(slots: usize) -> Self {
+        let buf = || {
+            DisjointSlots::new_with(slots, |_| Slot {
+                stamp: STAMP_EMPTY,
+                msg: M::default(),
+            })
+        };
+        MessageArena {
+            bufs: [buf(), buf()],
+        }
+    }
+
+    /// An arena sized for `graph` (one slot per directed edge slot).
+    pub fn for_graph(graph: &CsrGraph) -> Self {
+        Self::with_slots(graph.num_slots())
+    }
+
+    /// Number of slots per buffer.
+    pub fn num_slots(&self) -> usize {
+        self.bufs[0].len()
+    }
+
+    /// The read/write views of round `round`. This *is* the buffer swap:
+    /// advancing the round flips which buffer is read and which is written —
+    /// no data moves, no clear pass runs.
+    #[inline(always)]
+    pub fn epoch(&self, round: u32) -> (ArenaReader<'_, M>, ArenaWriter<'_, M>) {
+        (
+            ArenaReader {
+                slots: &self.bufs[(round % 2) as usize],
+                stamp: round,
+            },
+            ArenaWriter {
+                slots: &self.bufs[((round + 1) % 2) as usize],
+                stamp: round + 1,
+            },
+        )
+    }
+}
+
+/// Read view of the buffer delivered in one round.
+pub struct ArenaReader<'a, M> {
+    slots: &'a DisjointSlots<Slot<M>>,
+    /// Messages are valid iff their slot stamp equals this round.
+    stamp: u32,
+}
+
+/// Write view of the buffer being filled for the next round.
+pub struct ArenaWriter<'a, M> {
+    slots: &'a DisjointSlots<Slot<M>>,
+    /// Stamp published with every write: the round the message arrives in.
+    stamp: u32,
+}
+
+// The views are plain (ref, u32) regardless of `M`, so implement Copy by
+// hand instead of deriving (derive would demand `M: Copy`).
+impl<M> Clone for ArenaReader<'_, M> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<M> Copy for ArenaReader<'_, M> {}
+impl<M> Clone for ArenaWriter<'_, M> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<M> Copy for ArenaWriter<'_, M> {}
+
+impl<'a, M> ArenaReader<'a, M> {
+    /// The message in `slot`, if one was sent for this round.
+    ///
+    /// # Safety
+    /// No thread may be writing this buffer (the executor guarantees this:
+    /// writes go to the other buffer, epochs are barrier-separated).
+    #[inline(always)]
+    pub(crate) unsafe fn get(&self, slot: usize) -> Option<&'a M> {
+        let s = self.slots.read(slot);
+        if s.stamp == self.stamp {
+            Some(&s.msg)
+        } else {
+            None
+        }
+    }
+
+    /// The contiguous slot run `[base, base + len)` — a node's inbox row.
+    ///
+    /// # Safety
+    /// As for [`ArenaReader::get`].
+    #[inline(always)]
+    pub(crate) unsafe fn row(&self, base: usize, len: usize) -> &'a [Slot<M>] {
+        self.slots.slice(base, len)
+    }
+
+    /// The round whose messages this view exposes.
+    #[inline(always)]
+    pub(crate) fn stamp(&self) -> u32 {
+        self.stamp
+    }
+}
+
+impl<M> ArenaWriter<'_, M> {
+    /// Writes `msg` into `slot` in place and publishes its stamp.
+    ///
+    /// # Safety
+    /// Within the current round, no other thread may access `slot` in this
+    /// buffer. The simulator's one-writer-per-slot discipline (see
+    /// [`crate::disjoint`]) provides exactly this.
+    #[inline(always)]
+    pub(crate) unsafe fn write(&self, slot: usize, msg: M) {
+        self.slots.write(
+            slot,
+            Slot {
+                stamp: self.stamp,
+                msg,
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_alternates_buffers() {
+        let arena: MessageArena<u8> = MessageArena::with_slots(3);
+        let (r0, w0) = arena.epoch(0);
+        let (r1, w1) = arena.epoch(1);
+        // What is written in round 0 is read in round 1, and vice versa.
+        assert!(std::ptr::eq(w0.slots, r1.slots));
+        assert!(std::ptr::eq(w1.slots, r0.slots));
+        assert!(!std::ptr::eq(r0.slots, r1.slots));
+    }
+
+    #[test]
+    fn stamp_gates_delivery() {
+        let arena: MessageArena<u16> = MessageArena::with_slots(4);
+        // Send in round 0 (stamped 1): visible in round 1, gone in round 3.
+        let (_, w) = arena.epoch(0);
+        unsafe { w.write(2, 99) };
+        let (r, _) = arena.epoch(1);
+        unsafe {
+            assert_eq!(r.get(2), Some(&99));
+            assert_eq!(r.get(1), None);
+        }
+        // Round 3 reads the same physical buffer, but the stamp is stale.
+        let (r3, _) = arena.epoch(3);
+        unsafe {
+            assert_eq!(r3.get(2), None);
+        }
+    }
+
+    #[test]
+    fn overwrite_in_same_round_keeps_last() {
+        let arena: MessageArena<u64> = MessageArena::with_slots(2);
+        let (_, w) = arena.epoch(0);
+        unsafe {
+            w.write(0, 1);
+            w.write(0, 2);
+        }
+        let (r, _) = arena.epoch(1);
+        unsafe {
+            assert_eq!(r.get(0), Some(&2));
+        }
+    }
+
+    #[test]
+    fn row_matches_get() {
+        let arena: MessageArena<u8> = MessageArena::with_slots(5);
+        let (_, w) = arena.epoch(6);
+        unsafe {
+            w.write(1, 10);
+            w.write(3, 30);
+        }
+        let (r, _) = arena.epoch(7);
+        let row = unsafe { r.row(0, 5) };
+        let hits: Vec<(usize, u8)> = row
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.stamp == r.stamp())
+            .map(|(i, s)| (i, s.msg))
+            .collect();
+        assert_eq!(hits, vec![(1, 10), (3, 30)]);
+    }
+
+    #[test]
+    fn sized_for_graph() {
+        let g = CsrGraph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let arena: MessageArena<u8> = MessageArena::for_graph(&g);
+        assert_eq!(arena.num_slots(), 4);
+    }
+}

@@ -1,13 +1,16 @@
 //! A shared-slice cell for provably disjoint concurrent writes.
 //!
 //! The simulator's message-delivery phase has a structural no-alias
-//! guarantee: the mailbox slot for `(receiver, port)` is written only by the
+//! guarantee: the arena slot for `(receiver, port)` is written only by the
 //! unique neighbor sitting at the other end of that port, and every node is
 //! stepped by exactly one worker thread per round. Hence, within one round,
-//! **every mailbox slot has at most one writer** and no readers (reads happen
-//! on the *other* buffer of the double-buffered mailbox, separated by a
-//! barrier). [`DisjointSlots`] encapsulates the single `unsafe` needed to
-//! exploit this: plain (non-atomic) writes through a shared reference.
+//! **every message slot has at most one writer** and no readers (reads happen
+//! on the *other* buffer of the double-buffered [`crate::arena`], separated
+//! by a barrier). [`DisjointSlots`] encapsulates the single `unsafe` needed
+//! to exploit this: plain (non-atomic) writes through a shared reference.
+//! The arena stores its stamp and payload arrays as two separate
+//! `DisjointSlots` (structure-of-arrays), both covered by the same
+//! discipline.
 //!
 //! This is the standard "disjoint index sets" pattern used in parallel graph
 //! kernels; the alternative (a mutex or atomic per slot) would put
@@ -57,8 +60,9 @@ impl<T> DisjointSlots<T> {
     /// Writes `value` into slot `idx` through a shared reference.
     ///
     /// # Safety
-    /// Within the current synchronization epoch, no other thread may access
-    /// slot `idx` (read or write). See the type-level contract.
+    /// `idx < len()` (checked only in debug builds), and within the current
+    /// synchronization epoch no other thread may access slot `idx` (read or
+    /// write). See the type-level contract.
     #[inline(always)]
     pub unsafe fn write(&self, idx: usize, value: T) {
         debug_assert!(idx < self.slots.len());
@@ -68,12 +72,28 @@ impl<T> DisjointSlots<T> {
     /// Reads slot `idx` through a shared reference.
     ///
     /// # Safety
-    /// Within the current synchronization epoch, no thread may *write* slot
-    /// `idx`. Concurrent reads are fine.
+    /// `idx < len()` (checked only in debug builds), and within the current
+    /// synchronization epoch no thread may *write* slot `idx`. Concurrent
+    /// reads are fine.
     #[inline(always)]
     pub unsafe fn read(&self, idx: usize) -> &T {
         debug_assert!(idx < self.slots.len());
         &*self.slots[idx].get()
+    }
+
+    /// Shared view of the contiguous subrange `[start, start + len)`.
+    ///
+    /// # Safety
+    /// `start + len <= len()` — the range must be in bounds; this is checked
+    /// only in debug builds, and an out-of-range span in release is
+    /// immediate undefined behavior. Additionally, no thread may *write* any
+    /// slot in the range while the returned slice is alive. Concurrent reads
+    /// are fine.
+    #[inline(always)]
+    pub unsafe fn slice(&self, start: usize, len: usize) -> &[T] {
+        debug_assert!(start + len <= self.slots.len());
+        let base = self.slots.as_ptr() as *const T;
+        std::slice::from_raw_parts(base.add(start), len)
     }
 
     /// Exclusive view of the whole buffer (no unsafety: `&mut self`).
@@ -132,6 +152,15 @@ mod tests {
         for (i, &v) in slice.iter().enumerate() {
             assert_eq!(v, i * 2 + 1);
         }
+    }
+
+    #[test]
+    fn subslice_view() {
+        let s = DisjointSlots::new_with(6, |i| i as u32 * 10);
+        // SAFETY: no writers exist.
+        let mid = unsafe { s.slice(2, 3) };
+        assert_eq!(mid, &[20, 30, 40]);
+        assert!(unsafe { s.slice(6, 0) }.is_empty());
     }
 
     #[test]

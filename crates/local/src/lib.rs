@@ -18,9 +18,12 @@
 //!   all nodes halt (or a round cap is hit), counting rounds and messages.
 //! * Two executors with **bit-identical** semantics: a sequential one and a
 //!   multi-threaded one (crossbeam scoped threads over node partitions;
-//!   message delivery through per-edge mailbox slots written by exactly one
-//!   thread — see [`disjoint`]). Round counts and outputs never depend on
-//!   the executor; tests enforce this.
+//!   message delivery through the double-buffered flat [`arena`], each slot
+//!   written by exactly one thread — see [`disjoint`]). Round counts and
+//!   outputs never depend on the executor; tests enforce this.
+//! * A zero-allocation hot loop: the [`arena::MessageArena`] is allocated
+//!   once per run, payloads are overwritten in place, and round delivery is
+//!   a buffer-parity flip.
 //!
 //! ## Example: flooding the maximum identifier
 //!
@@ -61,13 +64,13 @@
 
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod classics;
 pub mod disjoint;
-pub mod mailbox;
 pub mod metrics;
 pub mod protocol;
 pub mod sim;
 
-pub use metrics::{RoundStats, SimOutcome};
+pub use metrics::{RoundStats, RunSummary, SimOutcome, Summarize};
 pub use protocol::{Inbox, NodeInit, Outbox, Protocol, RoundCtx, Status};
 pub use sim::{Executor, Simulator};

@@ -35,3 +35,30 @@ impl<O> SimOutcome<O> {
         self.rounds
     }
 }
+
+/// The communication-cost summary every protocol stack reports in the same
+/// shape: rounds until the last node halted, total messages sent. The
+/// scenario registry and the experiment harness consume only this, so a new
+/// protocol stack plugs in by implementing [`Summarize`] on its result type.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RunSummary {
+    /// Communication rounds executed.
+    pub rounds: u32,
+    /// Total messages sent over all rounds.
+    pub messages: u64,
+}
+
+/// Anything that can report a uniform [`RunSummary`].
+pub trait Summarize {
+    /// The run's communication cost.
+    fn summary(&self) -> RunSummary;
+}
+
+impl<O> Summarize for SimOutcome<O> {
+    fn summary(&self) -> RunSummary {
+        RunSummary {
+            rounds: self.rounds,
+            messages: self.messages,
+        }
+    }
+}

@@ -1,7 +1,6 @@
 //! The node-side programming interface of the LOCAL simulator.
 
-use crate::disjoint::DisjointSlots;
-use crate::mailbox::MsgSlot;
+use crate::arena::{ArenaReader, ArenaWriter};
 use td_graph::{CsrGraph, NodeId, Port};
 
 /// Everything a node is allowed to see when it boots, matching the paper's
@@ -43,12 +42,11 @@ pub enum Status {
 }
 
 /// A node's view of the messages received this round: one optional message
-/// per port.
+/// per port, backed by the node's contiguous run of arena slots.
 pub struct Inbox<'a, M> {
-    pub(crate) slots: &'a DisjointSlots<MsgSlot<M>>,
+    pub(crate) reader: ArenaReader<'a, M>,
     pub(crate) base: usize,
     pub(crate) degree: usize,
-    pub(crate) stamp: u32,
 }
 
 impl<'a, M> Inbox<'a, M> {
@@ -58,19 +56,21 @@ impl<'a, M> Inbox<'a, M> {
         debug_assert!(port.idx() < self.degree);
         // SAFETY: the read buffer is not written during the read phase
         // (double buffering + barrier separation).
-        let slot = unsafe { self.slots.read(self.base + port.idx()) };
-        if slot.stamp == self.stamp {
-            slot.msg.as_ref()
-        } else {
-            None
-        }
+        unsafe { self.reader.get(self.base + port.idx()) }
     }
 
-    /// Iterates over `(port, message)` pairs for all ports that received one.
+    /// Iterates over `(port, message)` pairs for all ports that received
+    /// one, by a single pass over the node's contiguous slot row.
     pub fn iter(&self) -> impl Iterator<Item = (Port, &'a M)> + '_ {
-        (0..self.degree).filter_map(move |p| {
-            let port = Port::from(p);
-            self.get(port).map(|m| (port, m))
+        // SAFETY: as for `get`.
+        let row = unsafe { self.reader.row(self.base, self.degree) };
+        let want = self.reader.stamp();
+        row.iter().enumerate().filter_map(move |(p, s)| {
+            if s.stamp == want {
+                Some((Port::from(p), &s.msg))
+            } else {
+                None
+            }
         })
     }
 
@@ -92,13 +92,13 @@ impl<'a, M> Inbox<'a, M> {
 
 /// A node's sending interface for the current round.
 ///
-/// Sending writes directly into the *write* buffer slot owned by the
-/// receiving endpoint; the disjointness argument is in [`crate::disjoint`].
+/// Sending writes the payload in place into the *write* buffer slot owned by
+/// the receiving endpoint and publishes its stamp; the disjointness argument
+/// is in [`crate::disjoint`].
 pub struct Outbox<'a, 'g, M> {
-    pub(crate) write_buf: &'a DisjointSlots<MsgSlot<M>>,
+    pub(crate) writer: ArenaWriter<'a, M>,
     pub(crate) graph: &'g CsrGraph,
     pub(crate) node: NodeId,
-    pub(crate) next_stamp: u32,
     pub(crate) sent: u64,
 }
 
@@ -114,13 +114,7 @@ impl<M: Clone> Outbox<'_, '_, M> {
         // writer of that slot in this round is this node, which is stepped
         // by exactly one thread.
         unsafe {
-            self.write_buf.write(
-                mirror,
-                MsgSlot {
-                    stamp: self.next_stamp,
-                    msg: Some(msg),
-                },
-            );
+            self.writer.write(mirror, msg);
         }
         self.sent += 1;
     }
@@ -147,8 +141,10 @@ impl<M: Clone> Outbox<'_, '_, M> {
 pub trait Protocol: Sized + Send {
     /// Per-node problem input (e.g. "holds a token", "level 3").
     type Input: Sync;
-    /// Message type exchanged between neighbors.
-    type Message: Clone + Send;
+    /// Message type exchanged between neighbors. `Default` seeds the
+    /// flat message arena (slot validity is tracked by stamps, so the
+    /// default value is never observed as a delivered message).
+    type Message: Clone + Send + Default;
     /// Per-node output (e.g. "final orientation of my incident edges").
     type Output: Send;
 

@@ -1,7 +1,7 @@
 //! The simulator driver: sequential and multi-threaded executors with
 //! identical semantics.
 
-use crate::mailbox::Mailbox;
+use crate::arena::MessageArena;
 use crate::metrics::{RoundStats, SimOutcome};
 use crate::protocol::{Inbox, NodeInit, Outbox, Protocol, RoundCtx, Status};
 use parking_lot::Mutex;
@@ -98,16 +98,19 @@ impl Simulator {
         mut states: Vec<P>,
     ) -> SimOutcome<P::Output> {
         let n = graph.num_nodes();
-        let mailbox: Mailbox<P::Message> = Mailbox::new(graph.num_slots());
+        // The arena is the only message storage: allocated once here, then
+        // reused for every round (writes happen in place, delivery is the
+        // epoch parity flip).
+        let arena: MessageArena<P::Message> = MessageArena::for_graph(graph);
         let mut halted = vec![false; n];
         let mut remaining = n;
         let mut round: u32 = 0;
         let mut messages: u64 = 0;
         let mut trace = self.trace.then(Vec::new);
+        debug_assert!(self.max_rounds < u32::MAX - 1, "stamps reserve u32::MAX");
 
         while remaining > 0 && round < self.max_rounds {
-            let read_buf = mailbox.read_buf(round);
-            let write_buf = mailbox.write_buf(round);
+            let (reader, writer) = arena.epoch(round);
             let ctx = RoundCtx { round };
             let active = remaining;
             let mut round_msgs: u64 = 0;
@@ -117,16 +120,14 @@ impl Simulator {
                 }
                 let node = NodeId::from(v);
                 let inbox = Inbox {
-                    slots: read_buf,
+                    reader,
                     base: graph.node_offset(node),
                     degree: graph.degree(node),
-                    stamp: round,
                 };
                 let mut outbox = Outbox {
-                    write_buf,
+                    writer,
                     graph,
                     node,
-                    next_stamp: round + 1,
                     sent: 0,
                 };
                 let status = states[v].round(&ctx, &inbox, &mut outbox);
@@ -173,7 +174,8 @@ impl Simulator {
             };
         }
         let threads = threads.min(n);
-        let mailbox: Mailbox<P::Message> = Mailbox::new(graph.num_slots());
+        let arena: MessageArena<P::Message> = MessageArena::for_graph(graph);
+        debug_assert!(self.max_rounds < u32::MAX - 1, "stamps reserve u32::MAX");
 
         // Strided node partition: worker `w` owns nodes `w, w+T, w+2T, …`.
         // Generators tend to order nodes by role (level, side), so contiguous
@@ -224,7 +226,7 @@ impl Simulator {
 
         crossbeam::thread::scope(|scope| {
             for (w, chunk) in chunks.drain(..).enumerate() {
-                let mailbox = &mailbox;
+                let arena = &arena;
                 let barrier = &barrier;
                 let total_halted = &total_halted;
                 let messages = &messages;
@@ -238,8 +240,7 @@ impl Simulator {
                     let mut round: u32 = 0;
                     let mut halted_before: usize = 0; // coordinator-only
                     loop {
-                        let read_buf = mailbox.read_buf(round);
-                        let write_buf = mailbox.write_buf(round);
+                        let (reader, writer) = arena.epoch(round);
                         let ctx = RoundCtx { round };
                         let mut local_msgs: u64 = 0;
                         let mut newly_halted: usize = 0;
@@ -249,16 +250,14 @@ impl Simulator {
                             }
                             let node = NodeId::from(w + i * threads);
                             let inbox = Inbox {
-                                slots: read_buf,
+                                reader,
                                 base: graph.node_offset(node),
                                 degree: graph.degree(node),
-                                stamp: round,
                             };
                             let mut outbox = Outbox {
-                                write_buf,
+                                writer,
                                 graph,
                                 node,
-                                next_stamp: round + 1,
                                 sent: 0,
                             };
                             let status = state.round(&ctx, &inbox, &mut outbox);
@@ -313,7 +312,10 @@ impl Simulator {
             outputs[order[pos] as usize] = Some(state.finish());
         }
         SimOutcome {
-            outputs: outputs.into_iter().map(|o| o.expect("every node finished")).collect(),
+            outputs: outputs
+                .into_iter()
+                .map(|o| o.expect("every node finished"))
+                .collect(),
             rounds: final_rounds.load(Ordering::Relaxed),
             messages: messages.load(Ordering::Relaxed),
             completed: completed.load(Ordering::Relaxed),

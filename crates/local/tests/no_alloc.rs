@@ -1,0 +1,125 @@
+//! Proof of the zero-allocation hot loop: after warm-up (arena + state
+//! setup), `Simulator::run` performs **no per-round message-buffer
+//! allocations** — the flat message arena is reused across rounds, delivery
+//! is a buffer-parity flip, and nothing in the round loop touches the
+//! allocator. We verify this with a counting global allocator: for a
+//! protocol whose own code never allocates, the total allocation count of a
+//! run must be *independent of the number of rounds*.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use td_local::{Inbox, NodeInit, Outbox, Protocol, RoundCtx, Simulator, Status};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+/// The counter is process-global, so the two tests must not overlap — the
+/// harness runs tests on parallel threads by default.
+static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Gossip until the horizon given as the node input. Neither `round` nor
+/// the message type allocates, so every allocation of a run happens in the
+/// simulator's setup/teardown.
+struct Gossip {
+    horizon: u32,
+    acc: u64,
+}
+
+impl Protocol for Gossip {
+    type Input = u32;
+    type Message = u64;
+    type Output = u64;
+
+    fn init(node: NodeInit<'_, u32>) -> Self {
+        Gossip {
+            horizon: *node.input,
+            acc: 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(node.id.0 as u64 + 1),
+        }
+    }
+
+    fn round(
+        &mut self,
+        ctx: &RoundCtx,
+        inbox: &Inbox<'_, u64>,
+        outbox: &mut Outbox<'_, '_, u64>,
+    ) -> Status {
+        for (_, &m) in inbox.iter() {
+            self.acc ^= m.rotate_left(7);
+        }
+        outbox.broadcast(self.acc);
+        if ctx.round >= self.horizon {
+            Status::Halt
+        } else {
+            Status::Continue
+        }
+    }
+
+    fn finish(self) -> u64 {
+        self.acc
+    }
+}
+
+fn allocs_during(sim: &Simulator, g: &td_graph::CsrGraph, horizon: u32) -> u64 {
+    let inputs = vec![horizon; g.num_nodes()];
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let out = sim.run::<Gossip>(g, &inputs);
+    let after = ALLOCS.load(Ordering::Relaxed);
+    // The halting round itself is counted, hence horizon + 1.
+    assert_eq!(out.rounds, horizon + 1);
+    after - before
+}
+
+fn ring(n: usize) -> td_graph::CsrGraph {
+    let mut b = td_graph::GraphBuilder::new(n);
+    for i in 0..n {
+        b.add_edge(
+            td_graph::NodeId::from(i),
+            td_graph::NodeId::from((i + 1) % n),
+        )
+        .unwrap();
+    }
+    b.build().unwrap()
+}
+
+#[test]
+fn sequential_allocations_are_round_count_independent() {
+    let _guard = SERIAL.lock().unwrap();
+    let g = ring(64);
+    let sim = Simulator::sequential();
+    // Warm-up: fault in allocator/runtime one-time lazy paths.
+    allocs_during(&sim, &g, 4);
+    let short = allocs_during(&sim, &g, 8);
+    let long = allocs_during(&sim, &g, 256);
+    assert_eq!(
+        short, long,
+        "round loop allocated: {short} allocs for 8 rounds vs {long} for 256"
+    );
+}
+
+#[test]
+fn parallel_allocations_are_round_count_independent() {
+    let _guard = SERIAL.lock().unwrap();
+    let g = ring(64);
+    let sim = Simulator::parallel(4);
+    allocs_during(&sim, &g, 4);
+    let short = allocs_during(&sim, &g, 8);
+    let long = allocs_during(&sim, &g, 256);
+    assert_eq!(
+        short, long,
+        "round loop allocated: {short} allocs for 8 rounds vs {long} for 256"
+    );
+}

@@ -54,7 +54,10 @@ pub fn run(
     seed: u64,
     max_rounds: u32,
 ) -> BaselineResult {
-    assert!(orientation.fully_oriented(), "baseline starts fully oriented");
+    assert!(
+        orientation.fully_oriented(),
+        "baseline starts fully oriented"
+    );
     let n = g.num_nodes();
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut rounds: u32 = 0;

@@ -112,8 +112,7 @@ pub fn stabilization_probe(g: &CsrGraph) -> ProbeResult {
     // To keep one source of truth we call the internal single-phase driver.
     while !current.fully_oriented() {
         phase_no += 1;
-        current = crate::phases::run_phases_capped(g, PhaseConfig::default(), phase_no)
-            .orientation;
+        current = crate::phases::run_phases_capped(g, PhaseConfig::default(), phase_no).orientation;
         for e in g.edges() {
             let changed = prev.head(e) != current.head(e);
             if changed {
@@ -137,7 +136,11 @@ pub fn stabilization_probe(g: &CsrGraph) -> ProbeResult {
 
 /// Convenience: BFS eccentricity of `v` (used to pick "deep" probe nodes).
 pub fn eccentricity(g: &CsrGraph, v: NodeId) -> u32 {
-    bfs_distances(g, v).into_iter().filter(|&d| d != u32::MAX).max().unwrap_or(0)
+    bfs_distances(g, v)
+        .into_iter()
+        .filter(|&d| d != u32::MAX)
+        .max()
+        .unwrap_or(0)
 }
 
 #[cfg(test)]

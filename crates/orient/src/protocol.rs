@@ -139,13 +139,11 @@ impl OrientNode {
     fn is_parent(&self, i: usize) -> bool {
         // The neighbor is my parent in the game if the edge is oriented
         // toward it with badness 1 (its load = mine + 1).
-        self.ports[i].state == EdgeState::AwayFromMe
-            && self.ports[i].neighbor_load == self.load + 1
+        self.ports[i].state == EdgeState::AwayFromMe && self.ports[i].neighbor_load == self.load + 1
     }
 
     fn is_child(&self, i: usize) -> bool {
-        self.ports[i].state == EdgeState::TowardMe
-            && self.ports[i].neighbor_load + 1 == self.load
+        self.ports[i].state == EdgeState::TowardMe && self.ports[i].neighbor_load + 1 == self.load
     }
 }
 
@@ -399,6 +397,15 @@ pub struct DistributedResult {
     pub messages: u64,
 }
 
+impl td_local::Summarize for DistributedResult {
+    fn summary(&self) -> td_local::RunSummary {
+        td_local::RunSummary {
+            rounds: self.comm_rounds,
+            messages: self.messages,
+        }
+    }
+}
+
 /// Runs the distributed protocol and assembles the global orientation,
 /// checking that the two endpoints of every edge agree.
 pub fn run_distributed(g: &CsrGraph, sim: &Simulator) -> DistributedResult {
@@ -407,7 +414,10 @@ pub fn run_distributed(g: &CsrGraph, sim: &Simulator) -> DistributedResult {
     let budget = total_rounds(delta);
     let sim = sim.with_max_rounds((budget + 16).min(u32::MAX as u64) as u32);
     let outcome: SimOutcome<OrientOutput> = sim.run::<OrientNode>(g, &inputs);
-    assert!(outcome.completed, "distributed orientation hit the round cap");
+    assert!(
+        outcome.completed,
+        "distributed orientation hit the round cap"
+    );
 
     let mut orientation = Orientation::unoriented(g);
     for (e, u, v) in g.edge_list() {

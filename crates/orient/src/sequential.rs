@@ -24,7 +24,10 @@ pub struct SequentialResult {
 /// Flips unhappy edges (scanning edges in id order, repeatedly) until the
 /// orientation is stable.
 pub fn run(g: &CsrGraph, mut orientation: Orientation) -> SequentialResult {
-    assert!(orientation.fully_oriented(), "baseline starts fully oriented");
+    assert!(
+        orientation.fully_oriented(),
+        "baseline starts fully oriented"
+    );
     let mut flips: u64 = 0;
     let mut passes: u64 = 0;
     loop {
@@ -110,7 +113,11 @@ mod tests {
             let budget = potential_flip_budget(&o);
             let res = run(&g, o);
             res.orientation.verify_stable(&g).unwrap();
-            assert!(res.flips <= budget + 1, "flips {} > budget {budget}", res.flips);
+            assert!(
+                res.flips <= budget + 1,
+                "flips {} > budget {budget}",
+                res.flips
+            );
         }
     }
 

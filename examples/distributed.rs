@@ -8,24 +8,21 @@
 //!
 //! Run with: `cargo run --release --example distributed`
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
-use token_dropping::assign::protocol::{
-    run_distributed_assignment, total_rounds as assign_rounds,
-};
-use token_dropping::assign::AssignmentInstance;
-use token_dropping::graph::gen::random::random_regular;
+use td_bench::workloads;
+use token_dropping::assign::protocol::{run_distributed_assignment, total_rounds as assign_rounds};
 use token_dropping::local::Simulator;
 use token_dropping::orient::phases::{solve_stable_orientation, PhaseConfig};
 use token_dropping::orient::protocol::{run_distributed, total_rounds as orient_rounds};
 
 fn main() {
-    let mut rng = SmallRng::seed_from_u64(99);
-
     println!("=== Distributed stable orientation (Theorem 5.1) ===");
-    println!("{:>3} {:>5} {:>14} {:>10} {:>10}", "Δ", "n", "comm rounds", "budget", "messages");
+    println!(
+        "{:>3} {:>5} {:>14} {:>10} {:>10}",
+        "Δ", "n", "comm rounds", "budget", "messages"
+    );
     for d in [2usize, 3, 4] {
-        let g = random_regular(8 * d, d, &mut rng, 500).unwrap();
+        // Same builder as the `regular-orientation` scenario in td-bench.
+        let g = workloads::regular_graph(d, 8, 99 + d as u64);
         let res = run_distributed(&g, &Simulator::sequential());
         res.orientation.verify_stable(&g).unwrap();
         // The protocol is deterministic and equals the lockstep driver:
@@ -43,7 +40,7 @@ fn main() {
     println!("(output verified stable and equal to the lockstep driver's)\n");
 
     println!("=== Distributed stable assignment (Theorems 7.3 / 7.5) ===");
-    let inst = AssignmentInstance::random(10, 5, 2..=2, &mut rng);
+    let inst = workloads::assignment_instance(2, 4, 5, 99);
     let (c, s) = (
         inst.max_customer_degree() as u32,
         inst.max_server_degree() as u32,

@@ -7,12 +7,11 @@
 //!
 //! Run with: `cargo run --example load_balancing`
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use td_bench::workloads;
 use token_dropping::assign::bounded::solve_2_bounded;
 use token_dropping::assign::phases::solve_stable_assignment;
 use token_dropping::assign::semi_matching::{approximation_ratio, optimal_semi_matching};
-use token_dropping::assign::{Assignment, AssignmentInstance};
+use token_dropping::assign::Assignment;
 
 fn show_loads(label: &str, a: &Assignment) {
     let mut loads: Vec<u32> = a.loads().to_vec();
@@ -27,10 +26,10 @@ fn show_loads(label: &str, a: &Assignment) {
 }
 
 fn main() {
-    let mut rng = SmallRng::seed_from_u64(7);
     // 400 customers over 40 servers; servers have Zipf-like popularity, so a
-    // naive "first choice" assignment hammers the popular ones.
-    let inst = AssignmentInstance::skewed(400, 40, 1..=3, 1.1, &mut rng);
+    // naive "first choice" assignment hammers the popular ones. The builder
+    // is the same one behind the `server-farm` scenario (`td bench`).
+    let inst = workloads::skewed_assignment(400, 40, 1.1, 7);
     println!(
         "instance: {} customers, {} servers, C = {}, S = {}\n",
         inst.num_customers(),
@@ -67,9 +66,7 @@ fn main() {
     println!("    ↳ {} cost-reducing paths applied", opt.paths_applied);
 
     let ratio = approximation_ratio(&stable.assignment, &opt.assignment);
-    println!(
-        "\nstable/optimal cost ratio = {ratio:.4}  (CHSW12 guarantee: ≤ 2)"
-    );
+    println!("\nstable/optimal cost ratio = {ratio:.4}  (CHSW12 guarantee: ≤ 2)");
     assert!(ratio <= 2.0);
     let naive_ratio = approximation_ratio(&naive, &opt.assignment);
     println!("naive/optimal  cost ratio = {naive_ratio:.4}");

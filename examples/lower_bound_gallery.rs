@@ -44,13 +44,19 @@ fn main() {
 
     println!("\n=== Lemma 6.2: Δ-regular graphs ===");
     let mut rng = SmallRng::seed_from_u64(6);
-    let named: Vec<(&str, _)> = vec![("Petersen (3-regular, girth 5)", petersen()),
-                                     ("Heawood (3-regular, girth 6)", heawood())];
+    let named: Vec<(&str, _)> = vec![
+        ("Petersen (3-regular, girth 5)", petersen()),
+        ("Heawood (3-regular, girth 6)", heawood()),
+    ];
     for (name, g) in named {
         let d = g.degree(token_dropping::graph::NodeId(0));
         let res = solve_stable_orientation(&g, PhaseConfig::default());
         let (ok, max) = check_regular_indegree_lb(&g, &res.orientation, d);
-        println!("  {name}: max indegree {max} ≥ ⌈{d}/2⌉ = {} — {}", d.div_ceil(2), ok);
+        println!(
+            "  {name}: max indegree {max} ≥ ⌈{d}/2⌉ = {} — {}",
+            d.div_ceil(2),
+            ok
+        );
         assert!(ok);
     }
     for d in [4usize, 6] {
@@ -70,7 +76,10 @@ fn main() {
     }
 
     println!("\n=== Stabilization probe (rounds grow with Δ) ===");
-    println!("  {:<28} {:>4} {:>8} {:>14}", "instance", "Δ", "phases", "max stab. phase");
+    println!(
+        "  {:<28} {:>4} {:>8} {:>14}",
+        "instance", "Δ", "phases", "max stab. phase"
+    );
     for d in [3usize, 4, 5, 6] {
         let n = (20 * d).max(40) & !1; // even
         if let Some(g) = high_girth_regular(n, d, 5, &mut rng, 80) {

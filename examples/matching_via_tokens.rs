@@ -37,7 +37,11 @@ fn main() {
     let (matched, rounds) = maximal_matching_via_token_dropping(&g, &side);
     assert!(is_maximal_matching(&g, &matched));
     println!("Theorem 4.6 reduction (height-2 token dropping):");
-    println!("  matched {} edges in {} game rounds — verified maximal", matched.len(), rounds);
+    println!(
+        "  matched {} edges in {} game rounds — verified maximal",
+        matched.len(),
+        rounds
+    );
 
     // --- Theorem 7.4: 2-bounded stable assignment -> maximal matching.
     let red = maximal_matching_via_2_bounded(&g, customers);

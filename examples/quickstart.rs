@@ -14,7 +14,11 @@ fn main() {
     let mut rng = SmallRng::seed_from_u64(2021);
     let g = gnm(30, 75, &mut rng);
     let delta = g.max_degree();
-    println!("graph: n = {}, m = {}, Δ = {delta}", g.num_nodes(), g.num_edges());
+    println!(
+        "graph: n = {}, m = {}, Δ = {delta}",
+        g.num_nodes(),
+        g.num_edges()
+    );
 
     // Orient it stably: every edge (customer) points at a server whose load
     // cannot be improved by unilaterally switching.

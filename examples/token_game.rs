@@ -37,7 +37,11 @@ fn main() {
     verify_solution(&game, &res.solution).expect("solution obeys rules 1-3");
     verify_dynamics(&game, &res.log).expect("moves respect game dynamics");
 
-    println!("\nsolved in {} game rounds, {} token moves", res.rounds, res.log.len());
+    println!(
+        "\nsolved in {} game rounds, {} token moves",
+        res.rounds,
+        res.log.len()
+    );
     println!("\ntraversals (Figure 2's orange arrows):");
     for t in &res.solution.traversals {
         let path: Vec<String> = t.path.iter().map(|v| format!("v{}", v.0)).collect();
@@ -50,7 +54,10 @@ fn main() {
     let exts = res.solution.extended_traversals(&res.log);
     for ((t, tail), ext) in res.solution.traversals.iter().zip(&tails).zip(&exts) {
         let fmt = |p: &[NodeId]| {
-            p.iter().map(|v| format!("v{}", v.0)).collect::<Vec<_>>().join(" → ")
+            p.iter()
+                .map(|v| format!("v{}", v.0))
+                .collect::<Vec<_>>()
+                .join(" → ")
         };
         println!(
             "  token from v{:<2}: tail [{}], extended [{}]",

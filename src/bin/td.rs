@@ -1,17 +1,6 @@
 //! `td` — command-line front end for the token-dropping toolkit.
 //!
-//! ```text
-//! td gen gnm <n> <m> [seed]          random G(n,m) edge list -> stdout
-//! td gen regular <n> <d> [seed]      random d-regular graph
-//! td gen tree <d> <depth>            perfect d-ary tree
-//! td gen comb <k>                    contention-comb token game (.tdg)
-//! td gen game <widths..> <deg> [seed] random layered token game (.tdg)
-//! td info <file>                     graph statistics
-//! td orient <file> [--distributed]   stable orientation + verification
-//! td game <file>                     solve a token game + verification
-//! td assign <file> --customers <nc> [--bounded <k>] [--optimal]
-//! ```
-//!
+//! Run `td --help` for the full usage text (mirrored in the README).
 //! `<file>` may be `-` for stdin. Graph files are edge lists
 //! (`td_graph::io`); game files use `td_core::game_io`.
 
@@ -27,7 +16,58 @@ use token_dropping::orient::phases::{solve_stable_orientation, PhaseConfig};
 use token_dropping::orient::protocol::run_distributed;
 use token_dropping::prelude::*;
 
+const USAGE: &str = "usage: td <gen|info|orient|game|assign|bench> ... (td --help for details)";
+
+const HELP: &str = "\
+td — distributed token dropping, stable orientations, and semi-matchings
+    (Brandt, Keller, Rybicki, Suomela, Uitto — SPAA 2021)
+
+USAGE:
+  td gen gnm <n> <m> [seed]            random G(n,m) edge list -> stdout
+  td gen regular <n> <d> [seed]        random d-regular graph
+  td gen tree <d> <depth>              perfect d-ary tree
+  td gen comb <k>                      contention-comb token game (.tdg)
+  td gen game <w1,w2,..> <deg> [seed]  random layered token game (.tdg)
+  td info <file>                       graph statistics
+  td orient <file> [--distributed]     stable orientation + verification
+  td game <file>                       solve a token game + verification
+  td assign <file> --customers <nc> [--bounded <k>] [--optimal]
+                                       stable / k-bounded / optimal assignment
+  td bench                             list the registered scenarios
+  td bench <scenario> [--size N] [--seed S] [--threads T]
+                                       run one scenario and report its cost
+  td --help | -h                       this text
+
+FILES:
+  <file> may be '-' for stdin. Graphs are whitespace edge lists with an
+  'n m' header; token games use the .tdg format of td_core::game_io.
+
+EXAMPLES:
+  td gen gnm 30 75 7 | td orient -
+  td gen comb 5 | td game -
+  td bench server-farm --size 24 --seed 3
+";
+
+/// Restore the default SIGPIPE disposition. Rust ignores SIGPIPE at
+/// startup, turning `td gen ... | head` into a broken-pipe panic; a
+/// pipeline-first CLI should die quietly like every other Unix filter.
+#[cfg(unix)]
+fn reset_sigpipe() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGPIPE: i32 = 13;
+    const SIG_DFL: usize = 0;
+    unsafe {
+        signal(SIGPIPE, SIG_DFL);
+    }
+}
+
+#[cfg(not(unix))]
+fn reset_sigpipe() {}
+
 fn main() {
+    reset_sigpipe();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let code = run(&args);
     std::process::exit(code);
@@ -35,16 +75,103 @@ fn main() {
 
 fn run(args: &[String]) -> i32 {
     match args.first().map(String::as_str) {
+        Some("--help") | Some("-h") | Some("help") => {
+            print!("{HELP}");
+            0
+        }
         Some("gen") => cmd_gen(&args[1..]),
         Some("info") => cmd_info(&args[1..]),
         Some("orient") => cmd_orient(&args[1..]),
         Some("game") => cmd_game(&args[1..]),
         Some("assign") => cmd_assign(&args[1..]),
-        _ => {
-            eprintln!("usage: td <gen|info|orient|game|assign> ... (see --help in README)");
+        Some("bench") => cmd_bench(&args[1..]),
+        Some(other) => {
+            eprintln!("td: unknown subcommand '{other}'");
+            eprintln!("{USAGE}");
+            2
+        }
+        None => {
+            eprintln!("{USAGE}");
             2
         }
     }
+}
+
+fn cmd_bench(args: &[String]) -> i32 {
+    use td_bench::scenario;
+    let Some(name) = args.first().map(String::as_str) else {
+        println!("registered scenarios:\n");
+        print!("{}", scenario::listing());
+        println!("\nrun one with: td bench <name> [--size N] [--seed S] [--threads T]");
+        return 0;
+    };
+    let Some(sc) = scenario::find(name) else {
+        eprintln!("td bench: unknown scenario '{name}'; registered:\n");
+        eprint!("{}", scenario::listing());
+        return 2;
+    };
+    let mut size = sc.default_size();
+    let mut seed = 42u64;
+    let mut threads = 1usize;
+    let mut i = 1;
+    while i < args.len() {
+        let flag_val = |i: usize| -> Option<&String> { args.get(i + 1) };
+        match args[i].as_str() {
+            "--size" => match flag_val(i).and_then(|v| v.parse().ok()) {
+                Some(v) => {
+                    size = v;
+                    i += 2;
+                }
+                None => {
+                    eprintln!("td bench: --size needs an integer");
+                    return 2;
+                }
+            },
+            "--seed" => match flag_val(i).and_then(|v| v.parse().ok()) {
+                Some(v) => {
+                    seed = v;
+                    i += 2;
+                }
+                None => {
+                    eprintln!("td bench: --seed needs an integer");
+                    return 2;
+                }
+            },
+            "--threads" => match flag_val(i).and_then(|v| v.parse().ok()) {
+                Some(v) if v >= 1 => {
+                    threads = v;
+                    i += 2;
+                }
+                _ => {
+                    eprintln!("td bench: --threads needs an integer >= 1");
+                    return 2;
+                }
+            },
+            other => {
+                eprintln!("td bench: unknown flag '{other}'");
+                return 2;
+            }
+        }
+    }
+    let sim = if threads > 1 {
+        Simulator::parallel(threads)
+    } else {
+        Simulator::sequential()
+    };
+    let rep = sc.run(size, seed, &sim);
+    println!("scenario:   {} ({})", rep.scenario, sc.kind().label());
+    println!(
+        "instance:   n = {}, m = {}, size = {}, seed = {}",
+        rep.nodes, rep.edges, rep.size, rep.seed
+    );
+    println!("rounds:     {}", rep.rounds);
+    println!("messages:   {}", rep.messages);
+    println!("wall time:  {:.3} ms", rep.wall.as_secs_f64() * 1e3);
+    for (k, v) in &rep.notes {
+        println!("  {k}: {v}");
+    }
+    println!("verified:   ok");
+    0
 }
 
 fn read_input(path: &str) -> String {
@@ -71,13 +198,15 @@ fn load_graph(path: &str) -> CsrGraph {
 }
 
 fn cmd_gen(args: &[String]) -> i32 {
-    let seed_at = |i: usize| -> u64 {
-        args.get(i).and_then(|s| s.parse().ok()).unwrap_or(42)
-    };
+    let seed_at = |i: usize| -> u64 { args.get(i).and_then(|s| s.parse().ok()).unwrap_or(42) };
     match args.first().map(String::as_str) {
         Some("gnm") => {
             let (n, m) = (args[1].parse().unwrap(), args[2].parse().unwrap());
-            let g = token_dropping::graph::gen::random::gnm(n, m, &mut SmallRng::seed_from_u64(seed_at(3)));
+            let g = token_dropping::graph::gen::random::gnm(
+                n,
+                m,
+                &mut SmallRng::seed_from_u64(seed_at(3)),
+            );
             gio::write_edge_list(&g, std::io::stdout().lock()).unwrap();
             0
         }
@@ -119,12 +248,8 @@ fn cmd_gen(args: &[String]) -> i32 {
                 .map(|w| w.parse().expect("widths: comma-separated"))
                 .collect();
             let deg = args[2].parse().unwrap();
-            let game = TokenGame::random(
-                &widths,
-                deg,
-                0.5,
-                &mut SmallRng::seed_from_u64(seed_at(3)),
-            );
+            let game =
+                TokenGame::random(&widths, deg, 0.5, &mut SmallRng::seed_from_u64(seed_at(3)));
             game_io::write_game(&game, std::io::stdout().lock()).unwrap();
             0
         }
@@ -169,7 +294,9 @@ fn cmd_orient(args: &[String]) -> i32 {
         );
         res.orientation
     };
-    orientation.verify_stable(&g).expect("output must be stable");
+    orientation
+        .verify_stable(&g)
+        .expect("output must be stable");
     println!("# verified stable; edges as 'tail -> head':");
     for (e, u, v) in g.edge_list() {
         let head = orientation.head(e).unwrap();
@@ -232,20 +359,33 @@ fn cmd_assign(args: &[String]) -> i32 {
     let inst = AssignmentInstance::from_bipartite_graph(&g, nc);
     let assignment = if optimal {
         let res = optimal_semi_matching(&inst);
-        println!("# optimal semi-matching, {} cost-reducing paths", res.paths_applied);
+        println!(
+            "# optimal semi-matching, {} cost-reducing paths",
+            res.paths_applied
+        );
         res.assignment
     } else if let Some(k) = bounded {
         let res = token_dropping::assign::bounded::solve_k_bounded(&inst, k);
         res.assignment.verify_k_bounded(&inst, k).unwrap();
-        println!("# {k}-bounded stable, {} phases, {} LOCAL rounds", res.phases, res.comm_rounds);
+        println!(
+            "# {k}-bounded stable, {} phases, {} LOCAL rounds",
+            res.phases, res.comm_rounds
+        );
         res.assignment
     } else {
         let res = token_dropping::assign::phases::solve_stable_assignment(&inst);
         res.assignment.verify_stable(&inst).unwrap();
-        println!("# stable, {} phases, {} LOCAL rounds", res.phases, res.comm_rounds);
+        println!(
+            "# stable, {} phases, {} LOCAL rounds",
+            res.phases, res.comm_rounds
+        );
         res.assignment
     };
-    println!("# cost = {}, max load = {}", assignment.cost(), assignment.max_load());
+    println!(
+        "# cost = {}, max load = {}",
+        assignment.cost(),
+        assignment.max_load()
+    );
     println!("# customer -> server:");
     for c in 0..nc {
         println!("{} {}", c, assignment.server_of(c).unwrap());

@@ -115,10 +115,7 @@ fn unstable_orientation_is_caught() {
     let g = gnm(30, 80, &mut rng);
     let res = solve_stable_orientation(&g, PhaseConfig::default());
     // Redirect every edge of the max-degree node inward: overload it.
-    let hub = g
-        .nodes()
-        .max_by_key(|&v| g.degree(v))
-        .unwrap();
+    let hub = g.nodes().max_by_key(|&v| g.degree(v)).unwrap();
     let mut o = res.orientation.clone();
     for p in 0..g.degree(hub) {
         let e = g.edge_at(hub, Port::from(p));

@@ -8,9 +8,7 @@ const BIN: &str = env!("CARGO_BIN_EXE_td");
 
 fn run_td(args: &[&str], stdin: Option<&str>) -> (String, String, bool) {
     let mut cmd = Command::new(BIN);
-    cmd.args(args)
-        .stdout(Stdio::piped())
-        .stderr(Stdio::piped());
+    cmd.args(args).stdout(Stdio::piped()).stderr(Stdio::piped());
     if stdin.is_some() {
         cmd.stdin(Stdio::piped());
     }

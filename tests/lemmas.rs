@@ -112,7 +112,7 @@ fn lemma_4_5_extended_traversal_has_progress_witness() {
                 let witness_now = ext
                     .iter()
                     .any(|&v| !rep.occupied[t][v.idx()] && is_active(&game, &rep, t, v));
-                let witness_next = (t + 1 <= rep.rounds as usize)
+                let witness_next = (t < rep.rounds as usize)
                     && ext.iter().any(|&v| {
                         !rep.occupied[t + 1][v.idx()] && is_active(&game, &rep, t + 1, v)
                     });
@@ -155,10 +155,8 @@ fn lemma_5_3_load_accounting() {
     let mut rng = SmallRng::seed_from_u64(3003);
     for _ in 0..5 {
         let g = gnm(24, 60, &mut rng);
-        let full = token_dropping::orient::phases::solve_stable_orientation(
-            &g,
-            PhaseConfig::default(),
-        );
+        let full =
+            token_dropping::orient::phases::solve_stable_orientation(&g, PhaseConfig::default());
         // Loads never decrease across phases, and per-phase increases are
         // at most 1 per node (the Lemma 5.3 conclusion).
         let mut prev_loads: Vec<u32> = vec![0; g.num_nodes()];

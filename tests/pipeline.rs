@@ -38,12 +38,27 @@ fn orientation_pipeline_on_many_families() {
     let mut rng = SmallRng::seed_from_u64(1002);
     let graphs: Vec<(String, CsrGraph)> = vec![
         ("path".into(), token_dropping::graph::gen::classic::path(40)),
-        ("cycle".into(), token_dropping::graph::gen::classic::cycle(41)),
+        (
+            "cycle".into(),
+            token_dropping::graph::gen::classic::cycle(41),
+        ),
         ("star".into(), token_dropping::graph::gen::classic::star(25)),
-        ("grid".into(), token_dropping::graph::gen::classic::grid(6, 7)),
-        ("torus".into(), token_dropping::graph::gen::classic::torus(5, 5)),
-        ("complete".into(), token_dropping::graph::gen::classic::complete(9)),
-        ("petersen".into(), token_dropping::graph::gen::classic::petersen()),
+        (
+            "grid".into(),
+            token_dropping::graph::gen::classic::grid(6, 7),
+        ),
+        (
+            "torus".into(),
+            token_dropping::graph::gen::classic::torus(5, 5),
+        ),
+        (
+            "complete".into(),
+            token_dropping::graph::gen::classic::complete(9),
+        ),
+        (
+            "petersen".into(),
+            token_dropping::graph::gen::classic::petersen(),
+        ),
         ("gnm".into(), gnm(50, 130, &mut rng)),
     ];
     for (name, g) in graphs {
@@ -70,10 +85,7 @@ fn rank2_assignment_equals_orientation_stability() {
     let mut rng = SmallRng::seed_from_u64(1003);
     let g = gnm(25, 60, &mut rng);
     // Customers = edges; servers = nodes.
-    let customers: Vec<Vec<u32>> = g
-        .edge_list()
-        .map(|(_, u, v)| vec![u.0, v.0])
-        .collect();
+    let customers: Vec<Vec<u32>> = g.edge_list().map(|(_, u, v)| vec![u.0, v.0]).collect();
     let inst = AssignmentInstance::new(g.num_nodes(), &customers);
     let res = solve_stable_assignment(&inst);
     res.assignment.verify_stable(&inst).unwrap();
@@ -170,7 +182,9 @@ fn classic_matching_protocol_cross_checks_token_dropping() {
                 edges.push(g.edge_between(v, NodeId(m)).unwrap());
             }
         }
-        assert!(token_dropping::core::matching::is_maximal_matching(&g, &edges));
+        assert!(token_dropping::core::matching::is_maximal_matching(
+            &g, &edges
+        ));
         assert!(rounds as usize <= 4 * g.max_degree() + 8);
 
         let side: Vec<u8> = (0..g.num_nodes())

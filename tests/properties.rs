@@ -198,13 +198,19 @@ fn random_hyper_game(
         if children.is_empty() {
             continue;
         }
-        let mut members = vec![head as u32, children[rng.gen_range(0..children.len())] as u32];
+        let mut members = vec![
+            head as u32,
+            children[rng.gen_range(0..children.len())] as u32,
+        ];
         // Optional extra members at levels >= want.
         for _ in 0..rng.gen_range(0..3usize) {
             let cands: Vec<usize> = (0..nodes)
                 .filter(|&v| levels[v] >= want && !members.contains(&(v as u32)))
                 .collect();
-            if let Some(&m) = cands.get(rng.gen_range(0..cands.len().max(1)).min(cands.len().saturating_sub(1))) {
+            if let Some(&m) = cands.get(
+                rng.gen_range(0..cands.len().max(1))
+                    .min(cands.len().saturating_sub(1)),
+            ) {
                 if !cands.is_empty() {
                     members.push(m as u32);
                 }

@@ -16,7 +16,12 @@ use token_dropping::prelude::*;
 #[test]
 fn theorem_4_1_token_dropping_round_bound() {
     let mut rng = SmallRng::seed_from_u64(2001);
-    for &(w, l, d) in &[(10usize, 2usize, 2usize), (12, 4, 3), (16, 6, 4), (20, 3, 6)] {
+    for &(w, l, d) in &[
+        (10usize, 2usize, 2usize),
+        (12, 4, 3),
+        (16, 6, 4),
+        (20, 3, 6),
+    ] {
         let game = TokenGame::random(&vec![w; l + 1], d, 0.5, &mut rng);
         let res = lockstep::run(&game);
         verify_solution(&game, &res.solution).unwrap();
@@ -59,8 +64,7 @@ fn theorem_4_6_reduction_certificate() {
     for _ in 0..10 {
         let g = token_dropping::graph::gen::random::random_bipartite(30, 30, 1..=5, &mut rng);
         let side: Vec<u8> = (0..60).map(|v| if v < 30 { 1 } else { 0 }).collect();
-        let (m, _) =
-            token_dropping::core::matching::maximal_matching_via_token_dropping(&g, &side);
+        let (m, _) = token_dropping::core::matching::maximal_matching_via_token_dropping(&g, &side);
         assert!(token_dropping::core::matching::is_maximal_matching(&g, &m));
     }
 }
@@ -136,9 +140,8 @@ fn theorem_7_4_reduction_certificate() {
     let mut rng = SmallRng::seed_from_u64(2008);
     for _ in 0..10 {
         let customers = 35;
-        let g = token_dropping::graph::gen::random::random_bipartite(
-            customers, 20, 1..=4, &mut rng,
-        );
+        let g =
+            token_dropping::graph::gen::random::random_bipartite(customers, 20, 1..=4, &mut rng);
         let red = token_dropping::assign::matching_reduction::maximal_matching_via_2_bounded(
             &g, customers,
         );

@@ -1,0 +1,267 @@
+//! A hermetic, dependency-free stand-in for the `criterion` benchmark
+//! harness. It keeps criterion's source-level API — `criterion_group!`,
+//! `criterion_main!`, [`Criterion::benchmark_group`], `bench_function`,
+//! `bench_with_input`, [`BenchmarkId`], [`Bencher::iter`], [`black_box`] —
+//! and measures wall-clock time with `std::time::Instant`.
+//!
+//! Statistics are deliberately simple (median / min / max over N samples,
+//! each sample a batch of enough iterations to dominate timer noise); there
+//! is no HTML report and no statistical regression machinery. Benchmarks
+//! still honor a substring filter passed on the command line, so
+//! `cargo bench -p td-bench --bench simulator -- arena` works as expected.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a computed value.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `routine`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Top-level harness state.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Cargo invokes bench binaries as `bin --bench [filter]`; anything
+        // that is not a flag is treated as a substring filter.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// No-op, kept for `criterion_main!` compatibility.
+    pub fn final_summary(&self) {}
+}
+
+/// A group of benchmarks sharing a name prefix and sampling configuration.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be >= 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks `routine` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run(&id.id, &mut |b| routine(b));
+        self
+    }
+
+    /// Benchmarks `routine` with a borrowed input under `id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        self.run(&id.id, &mut |b| routine(b, input));
+        self
+    }
+
+    /// Ends the group (alignment with criterion's API; prints nothing).
+    pub fn finish(self) {}
+
+    fn run(&self, id: &str, routine: &mut dyn FnMut(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, id);
+        if let Some(f) = &self.criterion.filter {
+            if !full.contains(f.as_str()) {
+                return;
+            }
+        }
+
+        // Warm-up & calibration: find an iteration count whose batch takes
+        // at least ~25 ms (or a single iteration if one already does).
+        let mut iters: u64 = 1;
+        loop {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            routine(&mut b);
+            if b.elapsed >= Duration::from_millis(25) || iters >= 1 << 20 {
+                break;
+            }
+            let per_iter = (b.elapsed / iters as u32).max(Duration::from_nanos(1));
+            let want = (Duration::from_millis(30).as_nanos() / per_iter.as_nanos().max(1)) as u64;
+            iters = want.clamp(iters + 1, iters.saturating_mul(64)).max(1);
+        }
+
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            routine(&mut b);
+            samples_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
+        }
+        samples_ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples_ns[samples_ns.len() / 2];
+        let min = samples_ns[0];
+        let max = *samples_ns.last().unwrap();
+        println!(
+            "{full:<50} time: [{} {} {}]  ({} samples × {} iters)",
+            fmt_ns(min),
+            fmt_ns(median),
+            fmt_ns(max),
+            samples_ns.len(),
+            iters
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("f", 8).id, "f/8");
+        assert_eq!(BenchmarkId::from_parameter(8).id, "8");
+    }
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion { filter: None };
+        let mut group = c.benchmark_group("shim");
+        let mut calls = 0u64;
+        group.sample_size(2).bench_function("counting", |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(calls)
+            })
+        });
+        group.finish();
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let c = Criterion {
+            filter: Some("nomatch".into()),
+        };
+        let mut ran = false;
+        let group = BenchmarkGroup {
+            criterion: &c,
+            name: "g".into(),
+            sample_size: 2,
+        };
+        group.run("other", &mut |_b| ran = true);
+        assert!(!ran);
+    }
+}

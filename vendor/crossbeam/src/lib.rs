@@ -1,0 +1,81 @@
+//! A hermetic, dependency-free stand-in for the `crossbeam` crate, providing
+//! `crossbeam::thread::scope` on top of `std::thread::scope` (std has had
+//! scoped threads since 1.63, so the shim is a thin signature adapter: the
+//! crossbeam closure receives a `&Scope` argument it can spawn from, and
+//! `scope` returns a `Result` rather than propagating panics directly).
+
+#![warn(missing_docs)]
+
+/// Scoped threads.
+pub mod thread {
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// The error type of [`scope`]: the payload of a panicked child thread.
+    pub type ScopeError = Box<dyn Any + Send + 'static>;
+
+    /// A handle for spawning scoped threads, passed to the [`scope`] closure
+    /// and to every spawned closure (crossbeam's nested-spawn signature).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives this scope again so
+        /// it can spawn further siblings, exactly like crossbeam.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowed-data threads can be spawned;
+    /// joins all of them before returning. Returns `Err` with the first
+    /// panic payload if the closure or any unjoined child panicked.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, ScopeError>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_stack_data() {
+        let data = [1u64, 2, 3, 4];
+        let total: u64 = crate::thread::scope(|scope| {
+            let handles: Vec<_> = data.iter().map(|&x| scope.spawn(move |_| x * 10)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let flag = std::sync::atomic::AtomicBool::new(false);
+        crate::thread::scope(|scope| {
+            scope.spawn(|inner| {
+                inner.spawn(|_| flag.store(true, std::sync::atomic::Ordering::SeqCst));
+            });
+        })
+        .unwrap();
+        assert!(flag.load(std::sync::atomic::Ordering::SeqCst));
+    }
+
+    #[test]
+    fn child_panic_reported_as_err() {
+        let r = crate::thread::scope(|scope| {
+            scope.spawn(|_| panic!("child down"));
+        });
+        assert!(r.is_err());
+    }
+}
