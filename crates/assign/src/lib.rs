@@ -32,7 +32,9 @@ pub mod instance;
 pub mod matching_reduction;
 pub mod phases;
 pub mod protocol;
+pub mod repair;
 pub mod semi_matching;
 
 pub use assignment::Assignment;
 pub use instance::AssignmentInstance;
+pub use repair::AssignChurnEngine;

@@ -9,8 +9,10 @@ use td_assign::AssignmentInstance;
 use td_core::TokenGame;
 use td_graph::CsrGraph;
 
+pub mod churn;
 pub mod scenario;
 
+pub use churn::{ChurnReport, ChurnScenario};
 pub use scenario::{Scenario, ScenarioKind, ScenarioReport};
 
 /// Workload builders with controlled parameters.

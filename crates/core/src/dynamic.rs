@@ -1,0 +1,543 @@
+//! Dynamic token games: live instance mutation with incremental solution
+//! repair.
+//!
+//! A [`DynamicGame`] holds a solved token dropping instance together with a
+//! maintained index of its solution (occupancy, consumed edges, traversal
+//! origins) and absorbs [`ChurnEvent`]s — token arrivals/drops and edge
+//! inserts/deletes — by repairing the solution *locally* instead of
+//! re-running a solver: a new token greedily descends through unconsumed
+//! edges; a dropped token frees its path, and the maximality rule (output
+//! rule 3) is restored by a worklist sweep that re-extends exactly the
+//! tokens adjacent to the freed nodes and edges. Work is counted in nodes
+//! and edges examined, so tests and experiments can compare against the
+//! cost of a full recompute.
+//!
+//! The repair is deterministic (worklist ordered by node id, descents take
+//! the smallest-id child), so any two histories ending in the same event
+//! sequence produce identical solutions — the property the differential
+//! tests pin down. After every event the maintained solution still
+//! satisfies output rules 1–3 against [`crate::verify::verify_solution`];
+//! the index is redundant state and [`DynamicGame::verify`] cross-checks it
+//! against a from-scratch recomputation (the "verifier delta" — the full
+//! verifier stays an independent judge, the index only accelerates repair).
+
+use crate::game::TokenGame;
+use crate::solution::{Solution, Traversal};
+use crate::verify::{verify_solution, Violation};
+use std::collections::BTreeSet;
+use td_graph::{CsrGraph, GraphBuilder, NodeId};
+use td_local::churn::{ChurnError, ChurnEvent};
+
+/// A live token game plus its incrementally repaired solution.
+pub struct DynamicGame {
+    game: TokenGame,
+    solution: Solution,
+    /// Occupancy index: the traversal ending at each node, if any (a node
+    /// is occupied iff the entry is `Some`).
+    dest_of: Vec<Option<u32>>,
+    /// Consumed edges, by `EdgeId`.
+    used: Vec<bool>,
+    /// Traversal index by origin node.
+    traversal_of: Vec<Option<u32>>,
+    /// Nodes + edges examined by the last repair.
+    last_work: u64,
+}
+
+impl DynamicGame {
+    /// Wraps an already-solved instance. Panics if the solution does not
+    /// verify against the game.
+    pub fn from_solved(game: TokenGame, solution: Solution) -> Self {
+        verify_solution(&game, &solution).expect("seed solution must verify");
+        let n = game.num_nodes();
+        let mut dg = DynamicGame {
+            dest_of: vec![None; n],
+            used: vec![false; game.graph().num_edges()],
+            traversal_of: vec![None; n],
+            game,
+            solution,
+            last_work: 0,
+        };
+        dg.rebuild_index();
+        dg
+    }
+
+    /// Solves `game` with the lockstep engine and wraps the result.
+    pub fn new_solved(game: TokenGame) -> Self {
+        let res = crate::lockstep::run(&game);
+        Self::from_solved(game, res.solution)
+    }
+
+    /// The current instance.
+    pub fn game(&self) -> &TokenGame {
+        &self.game
+    }
+
+    /// The maintained solution.
+    pub fn solution(&self) -> &Solution {
+        &self.solution
+    }
+
+    /// Nodes + edges the last event's repair examined.
+    pub fn last_work(&self) -> u64 {
+        self.last_work
+    }
+
+    fn rebuild_index(&mut self) {
+        self.dest_of = vec![None; self.game.num_nodes()];
+        self.used = vec![false; self.game.graph().num_edges()];
+        self.traversal_of = vec![None; self.game.num_nodes()];
+        for (i, t) in self.solution.traversals.iter().enumerate() {
+            self.dest_of[t.destination().idx()] = Some(i as u32);
+            self.traversal_of[t.origin().idx()] = Some(i as u32);
+            for w in t.path.windows(2) {
+                let e = self
+                    .game
+                    .graph()
+                    .edge_between(w[0], w[1])
+                    .expect("path follows edges");
+                self.used[e.idx()] = true;
+            }
+        }
+    }
+
+    /// Applies one event, repairs rules 1–3 locally, and returns the work
+    /// (nodes + edges examined).
+    pub fn apply(&mut self, event: &ChurnEvent) -> Result<u64, ChurnError> {
+        self.last_work = 0;
+        match *event {
+            ChurnEvent::TokenArrive(v) => self.token_arrive(v),
+            ChurnEvent::TokenDrop(v) => self.token_drop(v),
+            ChurnEvent::EdgeInsert { u, v } => self.edge_insert(u, v),
+            ChurnEvent::EdgeDelete { u, v } => self.edge_delete(u, v),
+            _ => Err(ChurnError::Unsupported("token game")),
+        }?;
+        Ok(self.last_work)
+    }
+
+    fn token_arrive(&mut self, v: NodeId) -> Result<(), ChurnError> {
+        if v.idx() >= self.game.num_nodes() {
+            return Err(ChurnError::NoSuchEntity(format!("{v}")));
+        }
+        if self.game.has_token(v) {
+            return Err(ChurnError::InvalidEvent(format!("{v} already has a token")));
+        }
+        self.game.set_token(v, true);
+        // The new token descends greedily; adding occupancy and consuming
+        // edges can only *help* everyone else's maximality.
+        let path = self.descend(v);
+        if path.len() == 1 && self.dest_of[v.idx()].is_some() {
+            // Pinned on another token's destination (v was passed through
+            // by that token's traversal): no local fix exists — fall back.
+            return self.full_recompute();
+        }
+        let idx = self.solution.traversals.len() as u32;
+        self.dest_of[path.last().unwrap().idx()] = Some(idx);
+        self.traversal_of[v.idx()] = Some(idx);
+        self.solution.traversals.push(Traversal { path });
+        Ok(())
+    }
+
+    fn token_drop(&mut self, v: NodeId) -> Result<(), ChurnError> {
+        let Some(ti) = self.traversal_of.get(v.idx()).copied().flatten() else {
+            return Err(ChurnError::NoSuchEntity(format!("no token origin at {v}")));
+        };
+        self.game.set_token(v, false);
+        let t = self.solution.traversals.swap_remove(ti as usize);
+        self.traversal_of[v.idx()] = None;
+        // Free the traversal's footprint first (the swapped-in traversal
+        // may have its destination anywhere, including at `t`'s origin).
+        let dest = t.destination();
+        self.dest_of[dest.idx()] = None;
+        if let Some(moved) = self.solution.traversals.get(ti as usize) {
+            self.traversal_of[moved.origin().idx()] = Some(ti);
+            self.dest_of[moved.destination().idx()] = Some(ti);
+        }
+        let mut dirty: BTreeSet<NodeId> = BTreeSet::new();
+        for w in t.path.windows(2) {
+            let e = self.game.graph().edge_between(w[0], w[1]).expect("edge");
+            self.used[e.idx()] = false;
+            dirty.insert(w[0]); // upper endpoint may now extend through it
+        }
+        for (_, parent) in self.game.parents(dest) {
+            dirty.insert(parent);
+        }
+        self.restore_maximality(dirty);
+        Ok(())
+    }
+
+    fn edge_insert(&mut self, u: NodeId, v: NodeId) -> Result<(), ChurnError> {
+        let g = self.game.graph();
+        if u.idx() >= g.num_nodes() || v.idx() >= g.num_nodes() || u == v {
+            return Err(ChurnError::NoSuchEntity(format!("endpoints {u}, {v}")));
+        }
+        if g.edge_between(u, v).is_some() {
+            return Err(ChurnError::InvalidEvent(format!(
+                "edge {{{u}, {v}}} already exists"
+            )));
+        }
+        if self.game.level(u).abs_diff(self.game.level(v)) != 1 {
+            return Err(ChurnError::InvalidEvent(format!(
+                "edge {{{u}, {v}}} does not join adjacent levels"
+            )));
+        }
+        let mut edges: Vec<(u32, u32)> = g.edge_list().map(|(_, a, b)| (a.0, b.0)).collect();
+        edges.push((u.0, v.0));
+        self.rebuild_instance(&edges)?;
+        // The only possible new rule-3 violation is through the new edge.
+        let upper = if self.game.level(u) > self.game.level(v) {
+            u
+        } else {
+            v
+        };
+        self.restore_maximality(BTreeSet::from([upper]));
+        Ok(())
+    }
+
+    fn edge_delete(&mut self, u: NodeId, v: NodeId) -> Result<(), ChurnError> {
+        let g = self.game.graph();
+        let Some(del) = g.edge_between(u, v) else {
+            return Err(ChurnError::NoSuchEntity(format!("edge {{{u}, {v}}}")));
+        };
+        let was_used = self.used[del.idx()];
+        let edges: Vec<(u32, u32)> = g
+            .edge_list()
+            .filter(|&(e, _, _)| e != del)
+            .map(|(_, a, b)| (a.0, b.0))
+            .collect();
+        let upper = if self.game.level(u) > self.game.level(v) {
+            u
+        } else {
+            v
+        };
+        let mut dirty: BTreeSet<NodeId> = BTreeSet::new();
+        if was_used && self.dest_of[upper.idx()].is_some() {
+            // The traversal to truncate would land on another token's
+            // destination: no local fix — rebuild and fall back (the stale
+            // solution is discarded wholesale, so no index remap happens).
+            self.rebuild_game(&edges)?;
+            return self.full_recompute();
+        }
+        if was_used {
+            // Truncate the traversal that crossed the deleted edge at the
+            // upper endpoint; its freed suffix may unblock others.
+            let ti = self
+                .solution
+                .traversals
+                .iter()
+                .position(|t| {
+                    t.path
+                        .windows(2)
+                        .any(|w| (w[0], w[1]) == (upper, g.other_endpoint(del, upper)))
+                })
+                .expect("used edge belongs to a traversal");
+            let t = &mut self.solution.traversals[ti];
+            let cut = t
+                .path
+                .iter()
+                .position(|&x| x == upper)
+                .expect("upper endpoint on path");
+            let freed: Vec<NodeId> = t.path.split_off(cut + 1);
+            let old_dest = *freed.last().expect("suffix nonempty");
+            self.dest_of[old_dest.idx()] = None;
+            self.dest_of[upper.idx()] = Some(ti as u32);
+            // No need to clear `used` bits here: rebuild_instance below
+            // recomputes the whole index from the truncated solution.
+            let mut prev = upper;
+            for &x in &freed {
+                dirty.insert(prev);
+                prev = x;
+            }
+            for (_, parent) in self.game.parents(old_dest) {
+                dirty.insert(parent);
+            }
+            dirty.insert(upper); // the truncated token may re-descend
+        }
+        self.rebuild_instance(&edges)?;
+        self.restore_maximality(dirty);
+        Ok(())
+    }
+
+    /// Rebuilds the graph (same levels/tokens) from an edge list.
+    fn rebuild_game(&mut self, edges: &[(u32, u32)]) -> Result<(), ChurnError> {
+        let n = self.game.num_nodes();
+        let mut b = GraphBuilder::with_capacity(n, edges.len());
+        for &(a, c) in edges {
+            b.add_edge(NodeId(a), NodeId(c)).expect("simple edge list");
+        }
+        let graph: CsrGraph = b.build().expect("valid edge list");
+        self.game = TokenGame::new(
+            graph,
+            self.game.levels().to_vec(),
+            self.game.tokens().to_vec(),
+        )
+        .map_err(|e| ChurnError::InvalidEvent(e.to_string()))?;
+        Ok(())
+    }
+
+    /// Rebuilds the graph and remaps the consumed-edge index to the new
+    /// edge ids (the maintained solution must still fit the new graph).
+    fn rebuild_instance(&mut self, edges: &[(u32, u32)]) -> Result<(), ChurnError> {
+        self.rebuild_game(edges)?;
+        // Edge ids changed wholesale: recompute the consumed-edge index
+        // from the maintained solution (levels/occupancy are untouched).
+        self.used = vec![false; self.game.graph().num_edges()];
+        for t in &self.solution.traversals {
+            for w in t.path.windows(2) {
+                let e = self
+                    .game
+                    .graph()
+                    .edge_between(w[0], w[1])
+                    .expect("surviving path edge");
+                self.used[e.idx()] = true;
+            }
+        }
+        Ok(())
+    }
+
+    /// Deterministic full-recompute fallback for the rare conflicts a local
+    /// patch cannot express (a token pinned on another's destination). The
+    /// result depends only on the current instance, so differential runs
+    /// that hit the fallback still agree.
+    fn full_recompute(&mut self) -> Result<(), ChurnError> {
+        let res = crate::lockstep::run(&self.game);
+        self.last_work += (self.game.num_nodes() + self.game.graph().num_edges()) as u64;
+        self.solution = res.solution;
+        self.rebuild_index();
+        Ok(())
+    }
+
+    /// Greedy descent from `from`: repeatedly move through the smallest-id
+    /// unconsumed edge to an unoccupied child, consuming edges along the
+    /// way. Returns the full path (possibly a singleton).
+    fn descend(&mut self, from: NodeId) -> Vec<NodeId> {
+        let mut path = vec![from];
+        let mut cur = from;
+        loop {
+            let kids: Vec<(td_graph::Port, NodeId)> = self.game.children(cur).collect();
+            self.last_work += 1 + kids.len() as u64;
+            let mut next: Option<(NodeId, td_graph::EdgeId)> = None;
+            for (p, child) in kids {
+                let e = self.game.graph().edge_at(cur, p);
+                if self.used[e.idx()] || self.dest_of[child.idx()].is_some() {
+                    continue;
+                }
+                if next.is_none_or(|(c, _)| child < c) {
+                    next = Some((child, e));
+                }
+            }
+            let Some((child, e)) = next else {
+                return path;
+            };
+            self.used[e.idx()] = true;
+            path.push(child);
+            cur = child;
+        }
+    }
+
+    /// Restores output rule 3 around the dirty nodes: any destination with
+    /// an unconsumed edge to an unoccupied child re-descends; every node it
+    /// vacates puts its parents back on the worklist.
+    fn restore_maximality(&mut self, mut worklist: BTreeSet<NodeId>) {
+        while let Some(x) = worklist.pop_first() {
+            self.last_work += 1;
+            // Which traversal ends here? O(1) via the occupancy index.
+            let Some(ti) = self.dest_of[x.idx()] else {
+                continue;
+            };
+            let extension = self.descend(x);
+            if extension.len() == 1 {
+                continue; // already maximal
+            }
+            let new_dest = *extension.last().unwrap();
+            self.dest_of[x.idx()] = None;
+            self.dest_of[new_dest.idx()] = Some(ti);
+            self.solution.traversals[ti as usize]
+                .path
+                .extend(&extension[1..]);
+            // Vacating x may unblock its parents.
+            for (_, parent) in self.game.parents(x) {
+                worklist.insert(parent);
+            }
+        }
+    }
+
+    /// Full verification: the maintained solution satisfies rules 1–3, and
+    /// the incremental index matches a from-scratch recomputation.
+    pub fn verify(&self) -> Result<(), Violation> {
+        verify_solution(&self.game, &self.solution)?;
+        let mut dest_of: Vec<Option<u32>> = vec![None; self.game.num_nodes()];
+        let mut used = vec![false; self.game.graph().num_edges()];
+        for (i, t) in self.solution.traversals.iter().enumerate() {
+            dest_of[t.destination().idx()] = Some(i as u32);
+            for w in t.path.windows(2) {
+                let e = self.game.graph().edge_between(w[0], w[1]).unwrap();
+                used[e.idx()] = true;
+            }
+        }
+        assert_eq!(dest_of, self.dest_of, "occupancy index diverged");
+        assert_eq!(used, self.used, "consumed-edge index diverged");
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_dynamic(seed: u64) -> DynamicGame {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let game = TokenGame::random(&[8, 8, 8, 8], 3, 0.5, &mut rng);
+        DynamicGame::new_solved(game)
+    }
+
+    #[test]
+    fn token_arrival_descends_and_verifies() {
+        let mut dg = random_dynamic(1);
+        let free: Vec<NodeId> = dg
+            .game()
+            .graph()
+            .nodes()
+            .filter(|&v| !dg.game().has_token(v))
+            .collect();
+        for v in free.into_iter().take(5) {
+            dg.apply(&ChurnEvent::TokenArrive(v)).unwrap();
+            dg.verify().unwrap();
+        }
+    }
+
+    #[test]
+    fn token_drop_restores_maximality() {
+        let mut dg = random_dynamic(2);
+        let origins: Vec<NodeId> = dg
+            .solution()
+            .traversals
+            .iter()
+            .map(|t| t.origin())
+            .collect();
+        for v in origins.into_iter().take(6) {
+            dg.apply(&ChurnEvent::TokenDrop(v)).unwrap();
+            dg.verify().unwrap();
+        }
+    }
+
+    #[test]
+    fn figure2_arrival_then_drop_roundtrip() {
+        let mut dg = DynamicGame::new_solved(TokenGame::figure2());
+        let before = dg.solution().traversals.len();
+        // v0..v2 are bottom-level and tokenless in Figure 2.
+        dg.apply(&ChurnEvent::TokenArrive(NodeId(0))).unwrap();
+        dg.verify().unwrap();
+        assert_eq!(dg.solution().traversals.len(), before + 1);
+        dg.apply(&ChurnEvent::TokenDrop(NodeId(0))).unwrap();
+        dg.verify().unwrap();
+        assert_eq!(dg.solution().traversals.len(), before);
+    }
+
+    #[test]
+    fn edge_churn_repairs() {
+        let mut dg = random_dynamic(3);
+        let mut rng = SmallRng::seed_from_u64(77);
+        for step in 0..12 {
+            let g = dg.game().graph();
+            if rng.gen_bool(0.5) && g.num_edges() > 4 {
+                let e = td_graph::EdgeId(rng.gen_range(0..g.num_edges() as u32));
+                let (u, v) = g.endpoints(e);
+                dg.apply(&ChurnEvent::EdgeDelete { u, v }).unwrap();
+            } else {
+                // Find a missing adjacent-level pair.
+                let mut found = None;
+                'outer: for u in g.nodes() {
+                    for v in g.nodes() {
+                        if u != v
+                            && dg.game().level(u) == dg.game().level(v) + 1
+                            && g.edge_between(u, v).is_none()
+                        {
+                            found = Some((u, v));
+                            break 'outer;
+                        }
+                    }
+                }
+                if let Some((u, v)) = found {
+                    dg.apply(&ChurnEvent::EdgeInsert { u, v }).unwrap();
+                }
+            }
+            dg.verify().unwrap_or_else(|e| panic!("step {step}: {e}"));
+        }
+    }
+
+    #[test]
+    fn repair_work_is_local() {
+        // A wide instance: one token drop must not examine the world.
+        let mut rng = SmallRng::seed_from_u64(4);
+        let game = TokenGame::random(&[60, 60, 60], 3, 0.5, &mut rng);
+        let m = game.graph().num_edges() as u64;
+        let mut dg = DynamicGame::new_solved(game);
+        let origin = dg.solution().traversals[0].origin();
+        let work = dg.apply(&ChurnEvent::TokenDrop(origin)).unwrap();
+        dg.verify().unwrap();
+        assert!(
+            work * 4 < m,
+            "drop repair examined {work} of {m} edge-equivalents"
+        );
+    }
+
+    #[test]
+    fn rejects_invalid_events() {
+        let mut dg = random_dynamic(5);
+        let occupied_origin = dg.solution().traversals[0].origin();
+        assert!(matches!(
+            dg.apply(&ChurnEvent::TokenArrive(occupied_origin)),
+            Err(ChurnError::InvalidEvent(_))
+        ));
+        let tokenless = dg
+            .game()
+            .graph()
+            .nodes()
+            .find(|&v| !dg.game().has_token(v))
+            .unwrap();
+        assert!(matches!(
+            dg.apply(&ChurnEvent::TokenDrop(tokenless)),
+            Err(ChurnError::NoSuchEntity(_))
+        ));
+        assert_eq!(
+            dg.apply(&ChurnEvent::CustomerLeave(0)),
+            Err(ChurnError::Unsupported("token game"))
+        );
+        // Same-level edge insert is rejected.
+        let g = dg.game().graph();
+        let (mut a, mut b) = (None, None);
+        for v in g.nodes() {
+            if dg.game().level(v) == 0 {
+                match a {
+                    None => a = Some(v),
+                    Some(first) if b.is_none() && g.edge_between(first, v).is_none() => {
+                        b = Some(v);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        if let (Some(a), Some(b)) = (a, b) {
+            assert!(matches!(
+                dg.apply(&ChurnEvent::EdgeInsert { u: a, v: b }),
+                Err(ChurnError::InvalidEvent(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn apply_returns_work_counter() {
+        let mut dg = random_dynamic(6);
+        let free = dg
+            .game()
+            .graph()
+            .nodes()
+            .find(|&v| !dg.game().has_token(v))
+            .unwrap();
+        let work = dg.apply(&ChurnEvent::TokenArrive(free)).unwrap();
+        assert!(work >= 1);
+        assert_eq!(work, dg.last_work());
+    }
+}

@@ -247,3 +247,91 @@ mod tests {
         assert_eq!(arena.num_slots(), 4);
     }
 }
+
+/// Property tests: the arena under random send/deliver/flip interleavings
+/// must behave exactly like the naive `Vec<Option<Msg>>` mailbox design it
+/// replaced — one cleared-every-round option per slot — even though the
+/// arena never clears anything and tracks validity only through stamps.
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Random interleavings of sends and epoch flips: every read agrees
+        /// with the `Vec<Option<M>>` model, so (a) a slot not written for
+        /// the current round is *never* read (no stale stamps leak through
+        /// the parity flip, even after idle rounds), and (b) same-round
+        /// overwrites keep the last payload.
+        #[test]
+        fn matches_vec_option_model(
+            seed in 0u64..1_000_000,
+            slots in 1usize..24,
+            rounds in 1u32..48,
+            density in 0.0f64..1.0,
+        ) {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let arena: MessageArena<u64> = MessageArena::with_slots(slots);
+            // Messages written during the previous round, i.e. what the
+            // model delivers this round. The model clears every round; the
+            // arena must match without ever clearing.
+            let mut inflight: Vec<Option<u64>> = vec![None; slots];
+            for r in 0..rounds {
+                let (reader, writer) = arena.epoch(r);
+                for (s, expect) in inflight.iter().enumerate() {
+                    prop_assert_eq!(unsafe { reader.get(s) }.copied(), *expect,
+                        "round {} slot {}", r, s);
+                }
+                // The row view must agree with per-slot gets.
+                let row = unsafe { reader.row(0, slots) };
+                for (s, slot) in row.iter().enumerate() {
+                    let via_row = (slot.stamp == reader.stamp()).then_some(slot.msg);
+                    prop_assert_eq!(via_row, inflight[s], "row round {} slot {}", r, s);
+                }
+                // Random sends for the next round; some rounds send nothing
+                // at all (a pure flip), some slots twice (overwrite).
+                let mut next: Vec<Option<u64>> = vec![None; slots];
+                if rng.gen_bool(0.85) {
+                    for (s, model) in next.iter_mut().enumerate() {
+                        for _ in 0..2 {
+                            if rng.gen_bool(density) {
+                                let val: u64 = rng.gen();
+                                unsafe { writer.write(s, val) };
+                                *model = Some(val);
+                            }
+                        }
+                    }
+                }
+                inflight = next;
+            }
+        }
+
+        /// Double-buffer parity: writes of round `r` are invisible to round
+        /// `r`'s reader (they land in the other buffer) and visible exactly
+        /// once, in round `r + 1`.
+        #[test]
+        fn writes_never_visible_in_their_own_round(
+            seed in 0u64..1_000_000,
+            slots in 1usize..16,
+            start in 0u32..64,
+        ) {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let arena: MessageArena<u32> = MessageArena::with_slots(slots);
+            let slot = rng.gen_range(0..slots);
+            let (reader, writer) = arena.epoch(start);
+            let before = unsafe { reader.get(slot) }.copied();
+            unsafe { writer.write(slot, 7) };
+            // Same epoch, same reader: the write went to the other buffer.
+            prop_assert_eq!(unsafe { reader.get(slot) }.copied(), before);
+            let (r1, _) = arena.epoch(start + 1);
+            prop_assert_eq!(unsafe { r1.get(slot) }.copied(), Some(7));
+            // Two flips later the stamp is stale again.
+            let (r3, _) = arena.epoch(start + 3);
+            prop_assert_eq!(unsafe { r3.get(slot) }.copied(), None);
+        }
+    }
+}

@@ -24,6 +24,11 @@
 //! * A zero-allocation hot loop: the [`arena::MessageArena`] is allocated
 //!   once per run, payloads are overwritten in place, and round delivery is
 //!   a buffer-parity flip.
+//! * A **churn plane** ([`churn`]): a persistent wake-based executor
+//!   ([`churn::ChurnSim`]) where `Halt` means *quiesce until a message
+//!   arrives*, so repair protocols restart from dirtied nodes only and
+//!   untouched regions pay zero work — the executor substrate for the
+//!   incremental repair engines in `td-orient`/`td-assign`.
 //!
 //! ## Example: flooding the maximum identifier
 //!
@@ -65,12 +70,14 @@
 #![warn(missing_docs)]
 
 pub mod arena;
+pub mod churn;
 pub mod classics;
 pub mod disjoint;
 pub mod metrics;
 pub mod protocol;
 pub mod sim;
 
+pub use churn::{ChurnError, ChurnEvent, ChurnSim, RepairMode, RepairStats, WakeSet};
 pub use metrics::{RoundStats, RunSummary, SimOutcome, Summarize};
 pub use protocol::{Inbox, NodeInit, Outbox, Protocol, RoundCtx, Status};
 pub use sim::{Executor, Simulator};

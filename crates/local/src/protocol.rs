@@ -1,6 +1,7 @@
 //! The node-side programming interface of the LOCAL simulator.
 
 use crate::arena::{ArenaReader, ArenaWriter};
+use crate::churn::WakeSet;
 use td_graph::{CsrGraph, NodeId, Port};
 
 /// Everything a node is allowed to see when it boots, matching the paper's
@@ -32,6 +33,11 @@ pub struct RoundCtx {
 }
 
 /// Whether a node keeps participating after this round.
+///
+/// Under [`crate::Simulator`], `Halt` is final: the node's output is
+/// decided and it never runs again. Under the churn executor
+/// ([`crate::churn::ChurnSim`]), `Halt` means *quiesce*: the node parks,
+/// and a later incoming message wakes it for another round.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Status {
     /// Keep running next round.
@@ -100,6 +106,10 @@ pub struct Outbox<'a, 'g, M> {
     pub(crate) graph: &'g CsrGraph,
     pub(crate) node: NodeId,
     pub(crate) sent: u64,
+    /// Wake side-channel of the churn executor: sending schedules the
+    /// receiver for the delivery round. `None` under the one-shot
+    /// [`crate::Simulator`].
+    pub(crate) wake: Option<&'a WakeSet>,
 }
 
 impl<M: Clone> Outbox<'_, '_, M> {
@@ -115,6 +125,9 @@ impl<M: Clone> Outbox<'_, '_, M> {
         // by exactly one thread.
         unsafe {
             self.writer.write(mirror, msg);
+        }
+        if let Some(wake) = self.wake {
+            wake.mark(self.graph.neighbor_at(self.node, port));
         }
         self.sent += 1;
     }

@@ -129,6 +129,7 @@ impl Simulator {
                     graph,
                     node,
                     sent: 0,
+                    wake: None,
                 };
                 let status = states[v].round(&ctx, &inbox, &mut outbox);
                 round_msgs += outbox.sent;
@@ -259,6 +260,7 @@ impl Simulator {
                                 graph,
                                 node,
                                 sent: 0,
+                                wake: None,
                             };
                             let status = state.round(&ctx, &inbox, &mut outbox);
                             local_msgs += outbox.sent;

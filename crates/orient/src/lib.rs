@@ -20,6 +20,10 @@
 //!   handshaked flips (see DESIGN.md for the substitution note);
 //! * [`sequential`] — the centralized greedy flipper with its Σ load²
 //!   potential argument (Section 1.1);
+//! * [`repair`] — the churn engine: a deterministic message-driven flip
+//!   protocol on the wake-based executor that repairs stability
+//!   *incrementally* after live edge updates (Section 1.1's dynamic
+//!   motivation), with a full-recompute fallback for differential testing;
 //! * [`lower_bound`] — the Section 6 constructions and certificates:
 //!   Lemma 6.1 (trees: `indegree(v) <= h(v) + 1`), Lemma 6.2 (regular
 //!   graphs: some node has indegree >= ⌈Δ/2⌉), and the stabilization-radius
@@ -33,7 +37,9 @@ pub mod lower_bound;
 pub mod orientation;
 pub mod phases;
 pub mod protocol;
+pub mod repair;
 pub mod sequential;
 
 pub use orientation::{Orientation, UnhappyEdge};
 pub use phases::{solve_stable_orientation, PhaseConfig, PhaseResult};
+pub use repair::OrientChurnEngine;

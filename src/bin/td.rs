@@ -16,7 +16,8 @@ use token_dropping::orient::phases::{solve_stable_orientation, PhaseConfig};
 use token_dropping::orient::protocol::run_distributed;
 use token_dropping::prelude::*;
 
-const USAGE: &str = "usage: td <gen|info|orient|game|assign|bench> ... (td --help for details)";
+const USAGE: &str =
+    "usage: td <gen|info|orient|game|assign|bench|churn> ... (td --help for details)";
 
 const HELP: &str = "\
 td — distributed token dropping, stable orientations, and semi-matchings
@@ -36,6 +37,12 @@ USAGE:
   td bench                             list the registered scenarios
   td bench <scenario> [--size N] [--seed S] [--threads T]
                                        run one scenario and report its cost
+  td churn                             list the churn (dynamic) scenarios
+  td churn <scenario> [--events N] [--size N] [--seed S] [--threads T]
+           [--full] [--compare]        stream a churn trace through the
+                                       incremental repair engine; --full uses
+                                       the full-recompute fallback, --compare
+                                       also measures from-scratch recompute
   td --help | -h                       this text
 
 FILES:
@@ -46,6 +53,7 @@ EXAMPLES:
   td gen gnm 30 75 7 | td orient -
   td gen comb 5 | td game -
   td bench server-farm --size 24 --seed 3
+  td churn rolling-restart --events 20 --compare
 ";
 
 /// Restore the default SIGPIPE disposition. Rust ignores SIGPIPE at
@@ -85,6 +93,7 @@ fn run(args: &[String]) -> i32 {
         Some("game") => cmd_game(&args[1..]),
         Some("assign") => cmd_assign(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
+        Some("churn") => cmd_churn(&args[1..]),
         Some(other) => {
             eprintln!("td: unknown subcommand '{other}'");
             eprintln!("{USAGE}");
@@ -94,6 +103,96 @@ fn run(args: &[String]) -> i32 {
             eprintln!("{USAGE}");
             2
         }
+    }
+}
+
+/// The numeric/boolean flags shared by the scenario-running subcommands
+/// (`td bench`, `td churn`). One parser, so flag semantics cannot drift
+/// between the two.
+struct RunFlags {
+    size: u32,
+    events: u32,
+    seed: u64,
+    threads: usize,
+    full: bool,
+    compare: bool,
+}
+
+impl RunFlags {
+    fn new(default_size: u32, default_events: u32) -> Self {
+        RunFlags {
+            size: default_size,
+            events: default_events,
+            seed: 42,
+            threads: 1,
+            full: false,
+            compare: false,
+        }
+    }
+
+    /// Parses `args`, accepting `--size/--seed/--threads` always and the
+    /// flags listed in `extra` additionally. Returns `Err(2)` (the exit
+    /// code) after printing a message on any malformed or unknown flag.
+    fn parse(&mut self, cmd: &str, args: &[String], extra: &[&str]) -> Result<(), i32> {
+        let mut i = 0;
+        while i < args.len() {
+            let flag = args[i].as_str();
+            let known_extra = extra.contains(&flag);
+            match flag {
+                "--full" if known_extra => {
+                    self.full = true;
+                    i += 1;
+                }
+                "--compare" if known_extra => {
+                    self.compare = true;
+                    i += 1;
+                }
+                "--size" | "--seed" | "--threads" | "--events"
+                    if flag != "--events" || known_extra =>
+                {
+                    let Some(raw) = args.get(i + 1) else {
+                        eprintln!("{cmd}: {flag} needs an integer");
+                        return Err(2);
+                    };
+                    match flag {
+                        "--size" => match raw.parse() {
+                            Ok(v) => self.size = v,
+                            Err(_) => {
+                                eprintln!("{cmd}: --size needs an integer");
+                                return Err(2);
+                            }
+                        },
+                        "--events" => match raw.parse() {
+                            Ok(v) => self.events = v,
+                            Err(_) => {
+                                eprintln!("{cmd}: --events needs an integer");
+                                return Err(2);
+                            }
+                        },
+                        "--seed" => match raw.parse() {
+                            Ok(v) => self.seed = v,
+                            Err(_) => {
+                                eprintln!("{cmd}: --seed needs an integer");
+                                return Err(2);
+                            }
+                        },
+                        _ => match raw.parse() {
+                            Ok(v) if v >= 1 => self.threads = v,
+                            _ => {
+                                eprintln!("{cmd}: --threads needs an integer >= 1");
+                                return Err(2);
+                            }
+                        },
+                    }
+                    i += 2;
+                }
+                other => {
+                    eprintln!("{cmd}: unknown flag '{other}'");
+                    return Err(2);
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -110,49 +209,11 @@ fn cmd_bench(args: &[String]) -> i32 {
         eprint!("{}", scenario::listing());
         return 2;
     };
-    let mut size = sc.default_size();
-    let mut seed = 42u64;
-    let mut threads = 1usize;
-    let mut i = 1;
-    while i < args.len() {
-        let flag_val = |i: usize| -> Option<&String> { args.get(i + 1) };
-        match args[i].as_str() {
-            "--size" => match flag_val(i).and_then(|v| v.parse().ok()) {
-                Some(v) => {
-                    size = v;
-                    i += 2;
-                }
-                None => {
-                    eprintln!("td bench: --size needs an integer");
-                    return 2;
-                }
-            },
-            "--seed" => match flag_val(i).and_then(|v| v.parse().ok()) {
-                Some(v) => {
-                    seed = v;
-                    i += 2;
-                }
-                None => {
-                    eprintln!("td bench: --seed needs an integer");
-                    return 2;
-                }
-            },
-            "--threads" => match flag_val(i).and_then(|v| v.parse().ok()) {
-                Some(v) if v >= 1 => {
-                    threads = v;
-                    i += 2;
-                }
-                _ => {
-                    eprintln!("td bench: --threads needs an integer >= 1");
-                    return 2;
-                }
-            },
-            other => {
-                eprintln!("td bench: unknown flag '{other}'");
-                return 2;
-            }
-        }
+    let mut flags = RunFlags::new(sc.default_size(), 0);
+    if let Err(code) = flags.parse("td bench", &args[1..], &[]) {
+        return code;
     }
+    let (size, seed, threads) = (flags.size, flags.seed, flags.threads);
     let sim = if threads > 1 {
         Simulator::parallel(threads)
     } else {
@@ -166,6 +227,89 @@ fn cmd_bench(args: &[String]) -> i32 {
     );
     println!("rounds:     {}", rep.rounds);
     println!("messages:   {}", rep.messages);
+    println!("wall time:  {:.3} ms", rep.wall.as_secs_f64() * 1e3);
+    for (k, v) in &rep.notes {
+        println!("  {k}: {v}");
+    }
+    println!("verified:   ok");
+    0
+}
+
+fn cmd_churn(args: &[String]) -> i32 {
+    use td_bench::churn;
+    use token_dropping::local::churn::RepairMode;
+    let Some(name) = args.first().map(String::as_str) else {
+        println!("registered churn scenarios:\n");
+        print!("{}", churn::churn_listing());
+        println!(
+            "\nrun one with: td churn <name> [--events N] [--size N] [--seed S] [--threads T]"
+        );
+        return 0;
+    };
+    let Some(sc) = churn::find_churn(name) else {
+        eprintln!("td churn: unknown scenario '{name}'; registered:\n");
+        eprint!("{}", churn::churn_listing());
+        return 2;
+    };
+    let mut flags = RunFlags::new(sc.default_size(), sc.default_events());
+    if let Err(code) = flags.parse("td churn", &args[1..], &["--events", "--full", "--compare"]) {
+        return code;
+    }
+    let mode = if flags.full {
+        RepairMode::FullRecompute
+    } else {
+        RepairMode::Incremental
+    };
+    let rep = sc.run(
+        flags.size,
+        flags.events,
+        flags.seed,
+        flags.threads,
+        mode,
+        flags.compare,
+    );
+    println!(
+        "scenario:   {} ({}, churn)",
+        rep.scenario,
+        sc.kind().label()
+    );
+    println!(
+        "instance:   n = {}, m = {}, size = {}, seed = {}",
+        rep.nodes, rep.edges, rep.size, rep.seed
+    );
+    println!(
+        "events:     {} applied, every repair verified stable",
+        rep.events
+    );
+    let per = |x: u64| {
+        if rep.events == 0 {
+            "-".to_string()
+        } else {
+            format!("{:.1}", x as f64 / rep.events as f64)
+        }
+    };
+    println!(
+        "repair:     {} rounds, {} messages, {} node-steps",
+        rep.repair.rounds, rep.repair.messages, rep.repair.node_steps
+    );
+    println!(
+        "per event:  {} rounds, {} messages, {} node-steps",
+        per(rep.repair.rounds as u64),
+        per(rep.repair.messages),
+        per(rep.repair.node_steps)
+    );
+    if let Some(rec) = &rep.recompute {
+        println!(
+            "recompute:  {} rounds, {} messages, {} node-steps (from scratch per event)",
+            rec.rounds, rec.messages, rec.node_steps
+        );
+        if rep.repair.node_steps > 0 {
+            println!(
+                "advantage:  {:.1}x fewer node-steps than recompute",
+                rec.node_steps as f64 / rep.repair.node_steps as f64
+            );
+        }
+    }
     println!("wall time:  {:.3} ms", rep.wall.as_secs_f64() * 1e3);
     for (k, v) in &rep.notes {
         println!("  {k}: {v}");

@@ -96,3 +96,74 @@ fn bad_input_fails_cleanly() {
     let (_, _, ok) = run_td(&["nonsense"], None);
     assert!(!ok);
 }
+
+#[test]
+fn churn_lists_scenarios() {
+    let (out, _, ok) = run_td(&["churn"], None);
+    assert!(ok);
+    for name in ["edge-flip", "flash-crowd", "rolling-restart"] {
+        assert!(out.contains(name), "listing missing {name}:\n{out}");
+    }
+}
+
+#[test]
+fn churn_runs_a_trace_and_reports() {
+    let (out, err, ok) = run_td(
+        &[
+            "churn",
+            "rolling-restart",
+            "--size",
+            "5",
+            "--events",
+            "6",
+            "--seed",
+            "7",
+            "--compare",
+        ],
+        None,
+    );
+    assert!(ok, "{err}");
+    assert!(out.contains("events:     6 applied"), "{out}");
+    assert!(out.contains("repair:"), "{out}");
+    assert!(out.contains("recompute:"), "{out}");
+    assert!(out.contains("verified:   ok"), "{out}");
+}
+
+#[test]
+fn churn_unknown_scenario_exits_2() {
+    let mut cmd = Command::new(BIN);
+    let out = cmd
+        .args(["churn", "no-such-scenario"])
+        .output()
+        .expect("td runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown scenario"));
+    // Unknown subcommands still exit 2 as well.
+    let out = Command::new(BIN).args(["nonsense"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn churn_zero_events_is_a_clean_noop() {
+    let (out, err, ok) = run_td(
+        &["churn", "flash-crowd", "--size", "4", "--events", "0"],
+        None,
+    );
+    assert!(ok, "{err}");
+    assert!(out.contains("events:     0 applied"), "{out}");
+    assert!(out.contains("verified:   ok"), "{out}");
+}
+
+#[test]
+fn churn_flag_errors_exit_2() {
+    let out = Command::new(BIN)
+        .args(["churn", "edge-flip", "--events"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let out = Command::new(BIN)
+        .args(["churn", "edge-flip", "--bogus"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}

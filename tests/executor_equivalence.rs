@@ -16,6 +16,37 @@ use token_dropping::orient::protocol::run_distributed;
 const THREADS: [usize; 3] = [2, 4, 8];
 const SEEDS: [u64; 3] = [3, 17, 9001];
 
+/// The churn (wake-based) executor obeys the same contract: repair traces
+/// are bit-identical at every thread count, for both repair engines.
+#[test]
+fn churn_repair_matches_sequential_at_every_thread_count() {
+    use td_local::churn::RepairMode;
+    for sc in td_bench::churn::churn_registry() {
+        let size = match sc.kind() {
+            td_bench::ScenarioKind::Orientation => 48,
+            _ => 6,
+        };
+        for &seed in &SEEDS {
+            let seq = sc.run(size, 6, seed, 1, RepairMode::Incremental, false);
+            for &t in &THREADS {
+                let par = sc.run(size, 6, seed, t, RepairMode::Incremental, false);
+                assert_eq!(
+                    seq.fingerprint,
+                    par.fingerprint,
+                    "{} seed {seed}, threads {t}",
+                    sc.name()
+                );
+                assert_eq!(
+                    seq.repair,
+                    par.repair,
+                    "{} seed {seed}, threads {t}",
+                    sc.name()
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn proposal_protocol_matches_sequential_at_every_thread_count() {
     for &seed in &SEEDS {
