@@ -425,6 +425,7 @@ pub struct AssignChurnEngine {
     sim: ChurnSim<AssignRepairNode>,
     mode: RepairMode,
     threads: usize,
+    shards: usize,
     max_rounds: u32,
 }
 
@@ -454,6 +455,7 @@ impl AssignChurnEngine {
             sim,
             mode,
             threads: 1,
+            shards: 1,
             max_rounds: 10_000_000,
         }
     }
@@ -462,6 +464,15 @@ impl AssignChurnEngine {
     pub fn with_threads(mut self, threads: usize) -> Self {
         assert!(threads >= 1);
         self.threads = threads;
+        self
+    }
+
+    /// Sets the shard count: `shards > 1` runs repairs on the sharded
+    /// message plane (locality-aware partition, batched boundary delivery);
+    /// repair traces are bit-identical either way.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        assert!(shards >= 1);
+        self.shards = shards;
         self
     }
 
@@ -559,7 +570,12 @@ impl AssignChurnEngine {
     }
 
     fn run_repair(&mut self) -> RepairStats {
-        let stats = self.sim.run(self.threads, self.max_rounds);
+        let stats = if self.shards > 1 {
+            self.sim
+                .run_sharded(self.shards, self.threads, self.max_rounds)
+        } else {
+            self.sim.run(self.threads, self.max_rounds)
+        };
         assert!(stats.completed, "repair hit the round cap");
         // Sync the maintained assignment from the node snapshots.
         for (i, &c) in self.alive.iter().enumerate() {

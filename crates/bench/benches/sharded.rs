@@ -1,0 +1,159 @@
+//! Criterion bench for the sharded executor: strided-parallel vs sharded
+//! on the two locality-sensitive registry scenarios, plus a quiesced-region
+//! workload showing the skipped-shard-rounds win.
+//!
+//! * `rotor-sweep-n1e5` — the deterministic circulant sweep at width
+//!   20 000 (n = 120 000 ≥ 10⁵). The BFS-grown partition cuts level bands,
+//!   so almost all proposal traffic stays shard-local; the strided
+//!   executor scatters every level over every worker.
+//! * `server-farm` — the Zipf-skewed 2-bounded assignment scenario; the
+//!   bipartite customer/server network is the adversarial case for
+//!   locality (hot servers touch everything).
+//! * `quiesced-region` — 7/8 of a long path halts in round 0 while one
+//!   hot region keeps working for 240 rounds; quiesced shards skip their
+//!   rounds entirely, strided workers keep scanning. The demo assertion
+//!   checks `SimOutcome::sharding` actually reports skipped shard-rounds.
+//!
+//! Outputs stay bit-identical across all executors (enforced separately by
+//! `tests/sharded_differential.rs`); this bench only compares wall clock.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use td_bench::scenario::find;
+use td_graph::gen::classic::path;
+use td_local::{Inbox, NodeInit, Outbox, Protocol, RoundCtx, Simulator, Status};
+
+fn host_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(2)
+        .clamp(2, 8)
+}
+
+fn bench_rotor_sweep(c: &mut Criterion) {
+    let sc = find("rotor-sweep").expect("registered");
+    const WIDTH: u32 = 20_000; // 6 levels -> n = 120_000
+    let t = host_threads();
+    let mut group = c.benchmark_group("sharded/rotor-sweep-n1e5");
+    group.sample_size(10);
+    group.bench_function("sequential", |b| {
+        b.iter(|| sc.run(WIDTH, 42, &Simulator::sequential()))
+    });
+    group.bench_function(BenchmarkId::new("strided-parallel", t), |b| {
+        b.iter(|| sc.run(WIDTH, 42, &Simulator::parallel(t)))
+    });
+    for shards in [t, 4 * t] {
+        group.bench_function(BenchmarkId::new(format!("sharded-x{t}t"), shards), |b| {
+            b.iter(|| sc.run(WIDTH, 42, &Simulator::sharded(shards, t)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_server_farm(c: &mut Criterion) {
+    let sc = find("server-farm").expect("registered");
+    // Deliberately moderate: the farm's bipartite hot-server topology is
+    // the bad case for any partition (tiny network, huge round count), so
+    // this group documents the overhead floor rather than a win.
+    const SIZE: u32 = 16;
+    let t = host_threads();
+    let mut group = c.benchmark_group("sharded/server-farm");
+    group.sample_size(10);
+    group.bench_function("sequential", |b| {
+        b.iter(|| sc.run(SIZE, 42, &Simulator::sequential()))
+    });
+    group.bench_function(BenchmarkId::new("strided-parallel", t), |b| {
+        b.iter(|| sc.run(SIZE, 42, &Simulator::parallel(t)))
+    });
+    group.bench_function(BenchmarkId::new(format!("sharded-x{t}t"), 2 * t), |b| {
+        b.iter(|| sc.run(SIZE, 42, &Simulator::sharded(2 * t, t)))
+    });
+    group.finish();
+}
+
+/// One hot region on a long path: nodes with input `true` gossip for 240
+/// rounds, everyone else halts immediately. The BFS partition confines
+/// the hot region to 1/8 of the shards; the others skip every remaining
+/// round.
+struct HotRegion {
+    long: bool,
+    acc: u64,
+}
+
+impl Protocol for HotRegion {
+    type Input = bool;
+    type Message = u64;
+    type Output = u64;
+
+    fn init(node: NodeInit<'_, bool>) -> Self {
+        HotRegion {
+            long: *node.input,
+            acc: node.id.0 as u64,
+        }
+    }
+
+    fn round(
+        &mut self,
+        ctx: &RoundCtx,
+        inbox: &Inbox<'_, u64>,
+        outbox: &mut Outbox<'_, '_, u64>,
+    ) -> Status {
+        if !self.long {
+            return Status::Halt;
+        }
+        for (_, &m) in inbox.iter() {
+            self.acc = self.acc.wrapping_mul(31).wrapping_add(m);
+        }
+        outbox.broadcast(self.acc);
+        if ctx.round >= 240 {
+            Status::Halt
+        } else {
+            Status::Continue
+        }
+    }
+
+    fn finish(self) -> u64 {
+        self.acc
+    }
+}
+
+fn bench_quiesced_region(c: &mut Criterion) {
+    const N: usize = 160_000;
+    let g = path(N);
+    // Hot region = the first eighth of the path (one contiguous BFS band).
+    let inputs: Vec<bool> = (0..N).map(|v| v < N / 8).collect();
+    let t = host_threads();
+    let shards = 16;
+
+    // Sanity outside the timed loop: the sharded run really skips
+    // shard-rounds and agrees with the sequential run.
+    let seq = Simulator::sequential().run::<HotRegion>(&g, &inputs);
+    let sh = Simulator::sharded(shards, t).run::<HotRegion>(&g, &inputs);
+    assert_eq!(seq.outputs, sh.outputs);
+    assert_eq!(seq.rounds, sh.rounds);
+    let stats = sh.sharding.expect("sharded stats");
+    assert!(
+        stats.shard_rounds_skipped > stats.shard_rounds_stepped,
+        "quiesced region must dominate: {stats:?}"
+    );
+
+    let mut group = c.benchmark_group("sharded/quiesced-region");
+    group.sample_size(10);
+    group.bench_function("sequential", |b| {
+        b.iter(|| Simulator::sequential().run::<HotRegion>(&g, &inputs))
+    });
+    group.bench_function(BenchmarkId::new("strided-parallel", t), |b| {
+        b.iter(|| Simulator::parallel(t).run::<HotRegion>(&g, &inputs))
+    });
+    group.bench_function(BenchmarkId::new(format!("sharded-x{t}t"), shards), |b| {
+        b.iter(|| Simulator::sharded(shards, t).run::<HotRegion>(&g, &inputs))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_rotor_sweep,
+    bench_server_farm,
+    bench_quiesced_region
+);
+criterion_main!(benches);

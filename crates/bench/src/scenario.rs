@@ -102,6 +102,25 @@ impl ScenarioReport {
         self.notes.push((key, value.to_string()));
         self
     }
+
+    /// A deterministic textual snapshot of the report — everything except
+    /// wall-clock time, one `key: value` line each. This is the format of
+    /// the golden files under `tests/golden/`; any drift in instance
+    /// shape, rounds, messages, or notes shows up as a readable line diff.
+    pub fn golden(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!("scenario: {}\n", self.scenario));
+        s.push_str(&format!("size: {}\n", self.size));
+        s.push_str(&format!("seed: {}\n", self.seed));
+        s.push_str(&format!("nodes: {}\n", self.nodes));
+        s.push_str(&format!("edges: {}\n", self.edges));
+        s.push_str(&format!("rounds: {}\n", self.rounds));
+        s.push_str(&format!("messages: {}\n", self.messages));
+        for (k, v) in &self.notes {
+            s.push_str(&format!("note {k}: {v}\n"));
+        }
+        s
+    }
 }
 
 /// A named, sized, seeded workload plus its paper-faithful solver.
@@ -243,6 +262,14 @@ impl Scenario for Waterfall {
 /// no randomness), with every node in the top half holding a token. The
 /// proposal protocol sweeps the surplus down. `size` = level width w.
 struct RotorSweep;
+
+/// The rotor-sweep instance at level width `w` (the same construction the
+/// `rotor-sweep` scenario runs) — exposed for experiment E16 and the
+/// sharded criterion bench, which need the raw [`TokenGame`] to reach the
+/// executor's sharding statistics.
+pub fn rotor_sweep_game(w: usize) -> TokenGame {
+    RotorSweep::build(w.max(2))
+}
 
 impl RotorSweep {
     fn build(w: usize) -> TokenGame {

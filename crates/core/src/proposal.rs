@@ -329,6 +329,9 @@ pub struct ProtocolRunResult {
     pub comm_rounds: u32,
     /// Total messages sent.
     pub messages: u64,
+    /// Sharded-executor statistics, when the run used
+    /// [`td_local::Executor::Sharded`].
+    pub sharding: Option<td_local::ShardExecStats>,
 }
 
 impl td_local::Summarize for ProtocolRunResult {
@@ -367,6 +370,7 @@ pub fn run_on_simulator(game: &TokenGame, sim: &Simulator) -> ProtocolRunResult 
         log,
         comm_rounds: outcome.rounds,
         messages: outcome.messages,
+        sharding: outcome.sharding,
     }
 }
 

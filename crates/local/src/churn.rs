@@ -41,10 +41,11 @@
 
 use crate::arena::MessageArena;
 use crate::protocol::{Inbox, NodeInit, Outbox, Protocol, RoundCtx, Status};
+use crate::shard::{BatchQueues, SendPtr, ShardPlane, ShardRoute};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Barrier;
-use td_graph::{CsrGraph, NodeId};
+use td_graph::{CsrGraph, NodeId, Partition};
 
 /// One update to a live instance. The vocabulary is shared across the
 /// problem families; each churn engine accepts the variants that make sense
@@ -222,7 +223,7 @@ impl WakeSet {
 
     /// Drains the queue into a sorted, duplicate-free awake list and clears
     /// the drained flags (so later marks re-enqueue).
-    fn drain_sorted(&self) -> Vec<u32> {
+    pub(crate) fn drain_sorted(&self) -> Vec<u32> {
         let mut q = std::mem::take(&mut *self.queue.lock());
         q.sort_unstable();
         for &v in &q {
@@ -244,6 +245,22 @@ pub struct ChurnSim<P: Protocol> {
     arena: MessageArena<P::Message>,
     wake: WakeSet,
     round: u32,
+    /// Lazily built sharded message plane (see [`ChurnSim::run_sharded`]).
+    sharded: Option<ShardState<P::Message>>,
+    /// Which message plane holds undelivered messages after a round-capped
+    /// run: `None` = quiescent, `Some(0)` = the flat arena, `Some(k)` = the
+    /// `k`-sharded plane. Switching planes mid-flight would lose them, so
+    /// the runners assert against it.
+    in_flight: Option<usize>,
+}
+
+/// The sharded message plane of a [`ChurnSim`], cached across repair runs
+/// (the graph of a `ChurnSim` is immutable, so the partition stays valid).
+struct ShardState<M> {
+    part: Partition,
+    plane: ShardPlane<M>,
+    queues: BatchQueues<M>,
+    traffic: WakeSet,
 }
 
 impl<P: Protocol> ChurnSim<P> {
@@ -272,6 +289,8 @@ impl<P: Protocol> ChurnSim<P> {
             arena,
             wake: WakeSet::new(n),
             round: 0,
+            sharded: None,
+            in_flight: None,
         }
     }
 
@@ -315,10 +334,296 @@ impl<P: Protocol> ChurnSim<P> {
             (self.round as u64) + (max_rounds as u64) < (u32::MAX - 1) as u64,
             "round counter would collide with the arena's reserved stamp"
         );
-        if threads <= 1 {
+        assert!(
+            self.in_flight.is_none_or(|k| k == 0),
+            "a capped sharded run left messages in flight; resume with run_sharded"
+        );
+        let stats = if threads <= 1 {
             self.run_sequential(max_rounds)
         } else {
             self.run_parallel(threads, max_rounds)
+        };
+        self.in_flight = (!stats.completed).then_some(0);
+        stats
+    }
+
+    /// Runs like [`ChurnSim::run`], but on the sharded message plane:
+    /// awake nodes are stepped by their shard's owner worker
+    /// ([`td_graph::Partition::bfs_grown`] over the instance graph), intra-
+    /// shard messages write the shard-local arena, and boundary messages
+    /// are batched per (src-shard, dst-shard) and flushed once per round.
+    /// Repair traces are bit-identical to [`ChurnSim::run`] at every shard
+    /// and thread count.
+    ///
+    /// `shards == 1` delegates to the flat plane. The sharded plane is
+    /// built on first use and cached (the graph of a `ChurnSim` never
+    /// changes); a round-capped run must be resumed on the same plane with
+    /// the same shard count.
+    pub fn run_sharded(&mut self, shards: usize, threads: usize, max_rounds: u32) -> RepairStats {
+        assert!(shards >= 1 && threads >= 1);
+        if shards == 1 {
+            return self.run(threads, max_rounds);
+        }
+        assert!(
+            (self.round as u64) + (max_rounds as u64) < (u32::MAX - 1) as u64,
+            "round counter would collide with the arena's reserved stamp"
+        );
+        assert!(
+            self.in_flight.is_none_or(|k| k == shards),
+            "a capped run left messages in flight on a different message plane"
+        );
+        if self
+            .sharded
+            .as_ref()
+            .is_none_or(|s| s.part.num_shards() != shards)
+        {
+            let part = Partition::bfs_grown(&self.graph, shards);
+            self.sharded = Some(ShardState {
+                plane: ShardPlane::new(&self.graph, &part),
+                queues: BatchQueues::new(shards),
+                traffic: WakeSet::new(shards),
+                part,
+            });
+        }
+        // Move the plane out so stepping can borrow `self` mutably.
+        let st = self.sharded.take().expect("just built");
+        let stats = if threads <= 1 {
+            self.run_sharded_sequential(&st, max_rounds)
+        } else {
+            self.run_sharded_parallel(&st, threads, max_rounds)
+        };
+        self.sharded = Some(st);
+        self.in_flight = (!stats.completed).then_some(shards);
+        stats
+    }
+
+    fn run_sharded_sequential(
+        &mut self,
+        st: &ShardState<P::Message>,
+        max_rounds: u32,
+    ) -> RepairStats {
+        let mut stats = RepairStats::accumulator();
+        loop {
+            let awake = self.wake.drain_sorted();
+            if awake.is_empty() {
+                break;
+            }
+            if stats.rounds >= max_rounds {
+                // Leave the pending wakes marked: a later run resumes them.
+                for &v in &awake {
+                    self.wake.mark(NodeId(v));
+                }
+                stats.completed = false;
+                break;
+            }
+            let ctx = RoundCtx { round: self.round };
+            stats.node_steps += awake.len() as u64;
+            for &v in &awake {
+                let node = NodeId(v);
+                let sh = st.part.shard_of(node) as usize;
+                let (reader, writer) = st.plane.arena(sh).epoch(self.round);
+                let route = ShardRoute {
+                    shard: sh as u32,
+                    slot_shard: &st.plane.slot_shard,
+                    slot_local: &st.plane.slot_local,
+                    queues: &st.queues,
+                    traffic: &st.traffic,
+                };
+                let inbox = Inbox {
+                    reader,
+                    base: st.plane.node_base(node),
+                    degree: self.graph.degree(node),
+                };
+                let mut outbox = Outbox {
+                    writer,
+                    graph: &self.graph,
+                    node,
+                    sent: 0,
+                    wake: Some(&self.wake),
+                    route: Some(&route),
+                };
+                let status = self.states[v as usize].round(&ctx, &inbox, &mut outbox);
+                stats.messages += outbox.sent;
+                if status == Status::Continue {
+                    self.wake.mark(node);
+                }
+            }
+            // Deliver phase: flush boundary batches into the receiving
+            // shards' arenas (only shards the traffic sink marked).
+            for d in st.traffic.drain_sorted() {
+                let (_, writer) = st.plane.arena(d as usize).epoch(self.round);
+                // SAFETY: single-threaded executor — exclusive access.
+                unsafe { st.queues.flush_into(d as usize, &writer) };
+            }
+            self.round += 1;
+            stats.rounds += 1;
+        }
+        stats
+    }
+
+    fn run_sharded_parallel(
+        &mut self,
+        st: &ShardState<P::Message>,
+        threads: usize,
+        max_rounds: u32,
+    ) -> RepairStats {
+        let threads = threads.min(st.part.num_shards()).max(1);
+        let graph = &self.graph;
+        let wake = &self.wake;
+        // States are stepped through raw pointers: every awake node belongs
+        // to exactly one shard, every shard to exactly one worker.
+        let states_ptr = SendPtr(self.states.as_mut_ptr());
+        let first = self.wake.drain_sorted();
+        if max_rounds == 0 {
+            let pending = !first.is_empty();
+            for &v in &first {
+                self.wake.mark(NodeId(v));
+            }
+            return RepairStats {
+                completed: !pending,
+                ..RepairStats::accumulator()
+            };
+        }
+        if first.is_empty() {
+            return RepairStats::accumulator();
+        }
+        let awake: Mutex<Vec<u32>> = Mutex::new(first);
+        let pending: Mutex<Vec<u32>> = Mutex::new(Vec::new());
+        let barrier = Barrier::new(threads);
+        let stop = AtomicBool::new(false);
+        let completed = AtomicBool::new(true);
+        let messages = AtomicU64::new(0);
+        let node_steps = AtomicU64::new(0);
+        let rounds_done = AtomicU32::new(0);
+        let base_round = self.round;
+
+        crossbeam::thread::scope(|scope| {
+            for w in 0..threads {
+                let awake = &awake;
+                let pending = &pending;
+                let barrier = &barrier;
+                let stop = &stop;
+                let completed = &completed;
+                let messages = &messages;
+                let node_steps = &node_steps;
+                let rounds_done = &rounds_done;
+                let states_ptr = &states_ptr;
+                scope.spawn(move |_| {
+                    let mut round = base_round;
+                    let mut mine: Vec<u32> = Vec::new();
+                    // Worker-local snapshot of the pending-traffic list, so
+                    // the deliver phase never holds the shared lock while
+                    // flushing.
+                    let mut my_pending: Vec<u32> = Vec::new();
+                    loop {
+                        mine.clear();
+                        {
+                            let list = awake.lock();
+                            mine.extend(
+                                list.iter().filter(|&&v| {
+                                    st.part.shard_of(NodeId(v)) as usize % threads == w
+                                }),
+                            );
+                        }
+                        let ctx = RoundCtx { round };
+                        let mut local_msgs: u64 = 0;
+                        for &v in &mine {
+                            let node = NodeId(v);
+                            let sh = st.part.shard_of(node) as usize;
+                            let (reader, writer) = st.plane.arena(sh).epoch(round);
+                            let route = ShardRoute {
+                                shard: sh as u32,
+                                slot_shard: &st.plane.slot_shard,
+                                slot_local: &st.plane.slot_local,
+                                queues: &st.queues,
+                                traffic: &st.traffic,
+                            };
+                            let inbox = Inbox {
+                                reader,
+                                base: st.plane.node_base(node),
+                                degree: graph.degree(node),
+                            };
+                            let mut outbox = Outbox {
+                                writer,
+                                graph,
+                                node,
+                                sent: 0,
+                                wake: Some(wake),
+                                route: Some(&route),
+                            };
+                            // SAFETY: the shard partition gives each awake
+                            // node to exactly one worker, so this &mut does
+                            // not alias; barriers separate the rounds.
+                            let state = unsafe { &mut *states_ptr.0.add(v as usize) };
+                            let status = state.round(&ctx, &inbox, &mut outbox);
+                            local_msgs += outbox.sent;
+                            if status == Status::Continue {
+                                wake.mark(node);
+                            }
+                        }
+                        messages.fetch_add(local_msgs, Ordering::Relaxed);
+                        // (a) all sends, wake marks and queue appends done.
+                        barrier.wait();
+                        if w == 0 {
+                            let stepped = awake.lock().len() as u64;
+                            node_steps.fetch_add(stepped, Ordering::Relaxed);
+                            let executed = rounds_done.fetch_add(1, Ordering::Relaxed) + 1;
+                            *pending.lock() = st.traffic.drain_sorted();
+                            let next = wake.drain_sorted();
+                            if next.is_empty() {
+                                stop.store(true, Ordering::Relaxed);
+                            } else if executed >= max_rounds {
+                                // Re-mark so a later run resumes the work.
+                                for &v in &next {
+                                    wake.mark(NodeId(v));
+                                }
+                                completed.store(false, Ordering::Relaxed);
+                                stop.store(true, Ordering::Relaxed);
+                            } else {
+                                *awake.lock() = next;
+                            }
+                        }
+                        // (b) next awake list / pending list / stop published.
+                        barrier.wait();
+                        // Deliver phase runs even when stopping: a capped
+                        // run's boundary messages must reach the shard
+                        // arenas so a later run can resume them. Snapshot
+                        // the owned entries first so no worker holds the
+                        // shared lock while flushing.
+                        my_pending.clear();
+                        my_pending.extend(
+                            pending
+                                .lock()
+                                .iter()
+                                .copied()
+                                .filter(|&d| d as usize % threads == w),
+                        );
+                        for &d in &my_pending {
+                            let d = d as usize;
+                            let (_, writer) = st.plane.arena(d).epoch(round);
+                            // SAFETY: column `d` belongs to this worker
+                            // during the deliver phase.
+                            unsafe { st.queues.flush_into(d, &writer) };
+                        }
+                        // (c) boundary messages published.
+                        barrier.wait();
+                        if stop.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        round += 1;
+                    }
+                });
+            }
+        })
+        .expect("sharded churn worker panicked");
+
+        let rounds = rounds_done.load(Ordering::Relaxed);
+        self.round += rounds;
+        RepairStats {
+            rounds,
+            messages: messages.load(Ordering::Relaxed),
+            node_steps: node_steps.load(Ordering::Relaxed),
+            completed: completed.load(Ordering::Relaxed),
         }
     }
 
@@ -353,6 +658,7 @@ impl<P: Protocol> ChurnSim<P> {
                     node,
                     sent: 0,
                     wake: Some(&self.wake),
+                    route: None,
                 };
                 let status = self.states[v as usize].round(&ctx, &inbox, &mut outbox);
                 stats.messages += outbox.sent;
@@ -438,6 +744,7 @@ impl<P: Protocol> ChurnSim<P> {
                                 node,
                                 sent: 0,
                                 wake: Some(wake),
+                                route: None,
                             };
                             // SAFETY: the strided partition gives each awake
                             // node to exactly one worker, so this &mut does
@@ -492,11 +799,6 @@ impl<P: Protocol> ChurnSim<P> {
         }
     }
 }
-
-/// A raw pointer that may cross thread boundaries; safety is argued at the
-/// use site (disjoint strided partition of the awake list).
-struct SendPtr<T>(*mut T);
-unsafe impl<T> Sync for SendPtr<T> {}
 
 #[cfg(test)]
 mod tests {
@@ -713,5 +1015,85 @@ mod tests {
         // 0 sends 1; 1 wakes, replies 2; 0 wakes, replies 3; 1 wakes, stops.
         assert_eq!(stats.messages, 3);
         assert_eq!(stats.node_steps, 4);
+    }
+
+    #[test]
+    fn sharded_repairs_match_flat_at_every_grid_point() {
+        for shards in [1usize, 2, 4, 8] {
+            for threads in [1usize, 2, 4] {
+                let g = cycle(17);
+                let mut inputs = vec![0u64; 17];
+                inputs[11] = 7;
+                let mut flat: ChurnSim<MaxHold> = ChurnSim::new(g.clone(), &inputs);
+                flat.state_mut(NodeId(11)).dirty = true;
+                flat.wake(NodeId(11));
+                let a = flat.run(1, 10_000);
+                let mut sh: ChurnSim<MaxHold> = ChurnSim::new(g, &inputs);
+                sh.state_mut(NodeId(11)).dirty = true;
+                sh.wake(NodeId(11));
+                let b = sh.run_sharded(shards, threads, 10_000);
+                assert_eq!(a, b, "shards {shards}, threads {threads}");
+                for v in 0..17 {
+                    assert_eq!(flat.states()[v].best, sh.states()[v].best);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_round_cap_is_resumable_on_the_same_plane() {
+        for threads in [1usize, 3] {
+            let g = path(30);
+            let mut inputs = vec![0u64; 30];
+            inputs[0] = 9;
+            let mut sim: ChurnSim<MaxHold> = ChurnSim::new(g, &inputs);
+            sim.state_mut(NodeId(0)).dirty = true;
+            sim.wake(NodeId(0));
+            let a = sim.run_sharded(4, threads, 3);
+            assert!(!a.completed, "threads {threads}");
+            assert_eq!(a.rounds, 3);
+            // Resume on the same plane: the capped run's boundary messages
+            // were flushed, so the flood completes.
+            let b = sim.run_sharded(4, threads, 10_000);
+            assert!(b.completed);
+            assert_eq!(sim.states()[29].best, 9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "in flight")]
+    fn switching_planes_mid_flight_panics() {
+        let g = path(30);
+        let mut inputs = vec![0u64; 30];
+        inputs[0] = 9;
+        let mut sim: ChurnSim<MaxHold> = ChurnSim::new(g, &inputs);
+        sim.state_mut(NodeId(0)).dirty = true;
+        sim.wake(NodeId(0));
+        let a = sim.run_sharded(4, 1, 3);
+        assert!(!a.completed);
+        // Undelivered messages live in the 4-shard plane; the flat
+        // executor must refuse.
+        let _ = sim.run(1, 10_000);
+    }
+
+    #[test]
+    fn switching_planes_between_completed_runs_is_fine() {
+        let g = cycle(12);
+        let mut sim: ChurnSim<MaxHold> = ChurnSim::new(g, &[0; 12]);
+        sim.state_mut(NodeId(3)).best = 5;
+        sim.state_mut(NodeId(3)).dirty = true;
+        sim.wake(NodeId(3));
+        assert!(sim.run(1, 10_000).completed);
+        sim.state_mut(NodeId(7)).best = 9;
+        sim.state_mut(NodeId(7)).dirty = true;
+        sim.wake(NodeId(7));
+        assert!(sim.run_sharded(3, 2, 10_000).completed);
+        sim.state_mut(NodeId(1)).best = 11;
+        sim.state_mut(NodeId(1)).dirty = true;
+        sim.wake(NodeId(1));
+        assert!(sim.run(2, 10_000).completed);
+        for v in 0..12 {
+            assert_eq!(sim.states()[v].best, 11, "node {v}");
+        }
     }
 }

@@ -81,6 +81,21 @@ impl<T> DisjointSlots<T> {
         &*self.slots[idx].get()
     }
 
+    /// Exclusive in-place access to slot `idx` through a shared reference —
+    /// for slots holding growable containers (the sharded executor's batch
+    /// queues) that are mutated rather than overwritten.
+    ///
+    /// # Safety
+    /// `idx < len()` (checked only in debug builds), and within the current
+    /// synchronization epoch no other access (read or write) to slot `idx`
+    /// may exist, including through previously returned references.
+    #[inline(always)]
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn get_mut(&self, idx: usize) -> &mut T {
+        debug_assert!(idx < self.slots.len());
+        &mut *self.slots[idx].get()
+    }
+
     /// Shared view of the contiguous subrange `[start, start + len)`.
     ///
     /// # Safety

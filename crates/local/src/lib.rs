@@ -16,11 +16,15 @@
 //!   the local output).
 //! * [`Simulator`] — executes a protocol on a [`td_graph::CsrGraph`] until
 //!   all nodes halt (or a round cap is hit), counting rounds and messages.
-//! * Two executors with **bit-identical** semantics: a sequential one and a
-//!   multi-threaded one (crossbeam scoped threads over node partitions;
-//!   message delivery through the double-buffered flat [`arena`], each slot
-//!   written by exactly one thread — see [`disjoint`]). Round counts and
-//!   outputs never depend on the executor; tests enforce this.
+//! * Three executors with **bit-identical** semantics: a sequential one, a
+//!   strided multi-threaded one (crossbeam scoped threads over node
+//!   partitions; message delivery through the double-buffered flat
+//!   [`arena`], each slot written by exactly one thread — see
+//!   [`disjoint`]), and a locality-aware **sharded** one ([`shard`]:
+//!   BFS-grown shards with per-shard arenas, cross-shard traffic batched
+//!   per shard pair and flushed once per round, fully quiesced shards
+//!   skipping rounds). Round counts and outputs never depend on the
+//!   executor; tests enforce this.
 //! * A zero-allocation hot loop: the [`arena::MessageArena`] is allocated
 //!   once per run, payloads are overwritten in place, and round delivery is
 //!   a buffer-parity flip.
@@ -75,9 +79,10 @@ pub mod classics;
 pub mod disjoint;
 pub mod metrics;
 pub mod protocol;
+pub mod shard;
 pub mod sim;
 
 pub use churn::{ChurnError, ChurnEvent, ChurnSim, RepairMode, RepairStats, WakeSet};
-pub use metrics::{RoundStats, RunSummary, SimOutcome, Summarize};
+pub use metrics::{RoundStats, RunSummary, ShardExecStats, SimOutcome, Summarize};
 pub use protocol::{Inbox, NodeInit, Outbox, Protocol, RoundCtx, Status};
 pub use sim::{Executor, Simulator};

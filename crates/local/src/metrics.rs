@@ -11,6 +11,21 @@ pub struct RoundStats {
     pub messages: u64,
 }
 
+/// Statistics of one sharded-executor run: how the partition looked and
+/// how many shard-rounds the quiesced-shard skip saved. `None` on the
+/// sequential and strided-parallel executors.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardExecStats {
+    /// Number of shards the run used.
+    pub shards: usize,
+    /// Boundary edges of the partition (cross-shard traffic candidates).
+    pub cut_edges: usize,
+    /// Shard-rounds actually stepped (a shard stepped in one round = 1).
+    pub shard_rounds_stepped: u64,
+    /// Shard-rounds skipped because the shard was fully quiesced.
+    pub shard_rounds_skipped: u64,
+}
+
 /// The result of simulating a protocol to completion (or to the round cap).
 #[derive(Clone, Debug)]
 pub struct SimOutcome<O> {
@@ -26,6 +41,8 @@ pub struct SimOutcome<O> {
     pub completed: bool,
     /// Per-round statistics if tracing was enabled.
     pub trace: Option<Vec<RoundStats>>,
+    /// Sharded-executor statistics ([`crate::Executor::Sharded`] only).
+    pub sharding: Option<ShardExecStats>,
 }
 
 impl<O> SimOutcome<O> {

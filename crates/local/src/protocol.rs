@@ -2,6 +2,7 @@
 
 use crate::arena::{ArenaReader, ArenaWriter};
 use crate::churn::WakeSet;
+use crate::shard::ShardRoute;
 use td_graph::{CsrGraph, NodeId, Port};
 
 /// Everything a node is allowed to see when it boots, matching the paper's
@@ -110,6 +111,10 @@ pub struct Outbox<'a, 'g, M> {
     /// receiver for the delivery round. `None` under the one-shot
     /// [`crate::Simulator`].
     pub(crate) wake: Option<&'a WakeSet>,
+    /// Shard routing of the sharded executors: intra-shard sends write the
+    /// local arena directly, cross-shard sends are queued for the batched
+    /// boundary flush. `None` under the unsharded executors.
+    pub(crate) route: Option<&'a ShardRoute<'a, M>>,
 }
 
 impl<M: Clone> Outbox<'_, '_, M> {
@@ -120,11 +125,14 @@ impl<M: Clone> Outbox<'_, '_, M> {
     pub fn send(&mut self, port: Port, msg: M) {
         let slot = self.graph.slot(self.node, port);
         let mirror = self.graph.mirror_slot(slot);
-        // SAFETY: slot `mirror` belongs to (neighbor, its port); the only
-        // writer of that slot in this round is this node, which is stepped
-        // by exactly one thread.
-        unsafe {
-            self.writer.write(mirror, msg);
+        match self.route {
+            // SAFETY: slot `mirror` belongs to (neighbor, its port); the
+            // only writer of that slot in this round is this node, which is
+            // stepped by exactly one thread.
+            None => unsafe {
+                self.writer.write(mirror, msg);
+            },
+            Some(route) => route.deliver(mirror, &self.writer, msg),
         }
         if let Some(wake) = self.wake {
             wake.mark(self.graph.neighbor_at(self.node, port));

@@ -1,0 +1,420 @@
+//! The sharded message plane: per-shard arenas, batched boundary delivery,
+//! and the locality-aware one-shot executor.
+//!
+//! The strided parallel executor ([`crate::Executor::Parallel`]) spreads
+//! every node over every worker, so each round touches cache lines across
+//! the whole arena and a fully halted region still costs a scan. The
+//! sharded executor instead cuts the graph into locality-aware shards
+//! ([`td_graph::Partition::bfs_grown`]) and gives each shard:
+//!
+//! * **its own [`MessageArena`]** — a node's inbox row lives in the arena
+//!   of its *own* shard, so the inner compute loop of a shard reads and
+//!   writes only shard-local memory;
+//! * **batched boundary traffic** — a send whose receiver lives in another
+//!   shard is not written remotely; it is appended to the per-(src-shard,
+//!   dst-shard) batch queue and flushed once per round, by the *receiving*
+//!   shard's owner, in the deliver phase. Remote cache lines are touched
+//!   once per batch instead of once per message;
+//! * **an active-set guard** — a shard whose nodes have all halted skips
+//!   its compute scan entirely ([`crate::metrics::ShardExecStats`] counts
+//!   the skipped shard-rounds), and the deliver phase visits only shards
+//!   that actually received cross-shard traffic this round, tracked with
+//!   the churn plane's [`WakeSet`] wake-sink at shard granularity.
+//!
+//! ## Determinism
+//!
+//! The sharded executor is **bit-identical** to the sequential one — same
+//! outputs, same round counts, same message counts — for any shard or
+//! thread count. The argument is the same one-writer-per-slot discipline
+//! as the strided executor, plus one observation about the deliver phase:
+//! a slot of `(receiver, port)` has exactly one sender, so the only
+//! same-slot write ordering that matters (a node sending twice on one port
+//! in one round) happens inside a single `round` call and is preserved by
+//! the FIFO batch queue. Messages flushed in the deliver phase of round
+//! `r` carry stamp `r + 1` and land before the barrier that opens round
+//! `r + 1` — exactly when a direct write would have become visible.
+//! `tests/sharded_differential.rs` enforces the contract across every
+//! registry scenario and shard/thread grid.
+
+use crate::arena::{ArenaWriter, MessageArena};
+use crate::churn::WakeSet;
+use crate::disjoint::DisjointSlots;
+use crate::metrics::{RoundStats, ShardExecStats, SimOutcome};
+use crate::protocol::{Inbox, Outbox, Protocol, RoundCtx, Status};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Barrier;
+use td_graph::{CsrGraph, NodeId, Partition};
+
+/// A raw pointer that may cross thread boundaries; safety is argued at the
+/// use site (each node's state is stepped by exactly one worker).
+pub(crate) struct SendPtr<T>(pub(crate) *mut T);
+unsafe impl<T> Sync for SendPtr<T> {}
+
+/// The per-shard message arenas of one sharded simulation, plus the
+/// routing tables translating global CSR slots into (shard, local slot).
+pub(crate) struct ShardPlane<M> {
+    arenas: Vec<MessageArena<M>>,
+    /// Global slot -> shard of the slot's receiver.
+    pub(crate) slot_shard: Vec<u32>,
+    /// Global slot -> index within the owning shard's arena.
+    pub(crate) slot_local: Vec<u32>,
+    /// Node -> inbox base within its shard's arena.
+    node_base: Vec<u32>,
+}
+
+impl<M: Default + Send> ShardPlane<M> {
+    /// Builds the plane for `graph` under `part`: one arena per shard,
+    /// sized to the shard's total degree, with each node's inbox row
+    /// contiguous inside its shard arena (nodes in ascending id order).
+    pub(crate) fn new(graph: &CsrGraph, part: &Partition) -> Self {
+        let mut slot_shard = vec![0u32; graph.num_slots()];
+        let mut slot_local = vec![0u32; graph.num_slots()];
+        let mut node_base = vec![0u32; graph.num_nodes()];
+        let mut arenas = Vec::with_capacity(part.num_shards());
+        for sh in 0..part.num_shards() {
+            let mut off = 0u32;
+            for &v in part.nodes_of(sh) {
+                let node = NodeId(v);
+                node_base[v as usize] = off;
+                let base = graph.node_offset(node);
+                for i in 0..graph.degree(node) {
+                    slot_shard[base + i] = sh as u32;
+                    slot_local[base + i] = off + i as u32;
+                }
+                off += graph.degree(node) as u32;
+            }
+            arenas.push(MessageArena::with_slots(off as usize));
+        }
+        ShardPlane {
+            arenas,
+            slot_shard,
+            slot_local,
+            node_base,
+        }
+    }
+
+    /// The arena of `shard`.
+    #[inline(always)]
+    pub(crate) fn arena(&self, shard: usize) -> &MessageArena<M> {
+        &self.arenas[shard]
+    }
+
+    /// The inbox base of node `v` inside its shard's arena.
+    #[inline(always)]
+    pub(crate) fn node_base(&self, v: NodeId) -> usize {
+        self.node_base[v.idx()] as usize
+    }
+}
+
+/// The per-(src-shard, dst-shard) boundary batch queues: an S×S row-major
+/// matrix of append-only vectors of `(local slot, message)` pairs.
+///
+/// Access discipline (barrier-separated, see [`run_sharded`]):
+/// * compute phase — row `src` is touched only by the worker stepping
+///   shard `src` (a shard is stepped by exactly one worker, one shard at a
+///   time);
+/// * deliver phase — column `dst` is touched only by the worker owning
+///   shard `dst`.
+pub(crate) struct BatchQueues<M> {
+    cells: DisjointSlots<Vec<(u32, M)>>,
+    shards: usize,
+}
+
+impl<M: Send> BatchQueues<M> {
+    pub(crate) fn new(shards: usize) -> Self {
+        BatchQueues {
+            cells: DisjointSlots::new_with(shards * shards, |_| Vec::new()),
+            shards,
+        }
+    }
+
+    /// Drains every queue addressed to `dst` into `writer`, in ascending
+    /// src-shard order. Queue capacity is retained, so the steady state
+    /// allocates nothing.
+    ///
+    /// # Safety
+    /// Caller must own column `dst` in the current phase (see the type
+    /// docs) and `writer` must be the write view of shard `dst`'s arena.
+    pub(crate) unsafe fn flush_into(&self, dst: usize, writer: &ArenaWriter<'_, M>) {
+        for src in 0..self.shards {
+            let q = self.cells.get_mut(src * self.shards + dst);
+            for (slot, msg) in q.drain(..) {
+                writer.write(slot as usize, msg);
+            }
+        }
+    }
+}
+
+/// The shard-routing view an [`Outbox`] holds under the sharded executors:
+/// everything a send needs to decide "local write or boundary batch".
+pub(crate) struct ShardRoute<'a, M> {
+    /// Shard being stepped (the sender's shard).
+    pub(crate) shard: u32,
+    /// Global slot -> receiver's shard.
+    pub(crate) slot_shard: &'a [u32],
+    /// Global slot -> slot within the receiver shard's arena.
+    pub(crate) slot_local: &'a [u32],
+    /// The boundary batch queues.
+    pub(crate) queues: &'a BatchQueues<M>,
+    /// Shard-granular wake sink: marks receiver shards that got boundary
+    /// traffic this round, so the deliver phase visits only those.
+    pub(crate) traffic: &'a WakeSet,
+}
+
+impl<M> ShardRoute<'_, M> {
+    /// Routes one message addressed to global slot `mirror`: shard-local
+    /// receivers get a direct in-place arena write, remote receivers get a
+    /// batch-queue append (flushed by the receiver's owner in the deliver
+    /// phase).
+    #[inline]
+    pub(crate) fn deliver(&self, mirror: usize, own_writer: &ArenaWriter<'_, M>, msg: M) {
+        let dst = self.slot_shard[mirror];
+        let local = self.slot_local[mirror];
+        if dst == self.shard {
+            // SAFETY: `own_writer` is the write view of this shard's arena;
+            // the slot's unique sender is the node being stepped, on this
+            // thread.
+            unsafe { own_writer.write(local as usize, msg) };
+        } else {
+            self.traffic.mark(NodeId(dst));
+            // SAFETY: row `self.shard` of the queue matrix belongs to the
+            // worker stepping this shard during the compute phase.
+            unsafe {
+                self.queues
+                    .cells
+                    .get_mut(self.shard as usize * self.queues.shards + dst as usize)
+                    .push((local, msg));
+            }
+        }
+    }
+}
+
+/// The sharded one-shot executor backing [`crate::Executor::Sharded`].
+///
+/// Each round runs in two barrier-separated phases:
+/// 1. **compute** — every worker steps its owned shards (shard `s` is
+///    owned by worker `s mod threads`), skipping fully quiesced ones;
+///    intra-shard sends write the shard arena directly, boundary sends are
+///    queued;
+/// 2. **deliver** — workers flush the batch queues addressed to their
+///    owned shards (only shards the traffic wake-sink marked), publishing
+///    the boundary messages before the next round's reads.
+pub(crate) fn run_sharded<P: Protocol>(
+    graph: &CsrGraph,
+    mut states: Vec<P>,
+    shards: usize,
+    threads: usize,
+    max_rounds: u32,
+    want_trace: bool,
+) -> SimOutcome<P::Output> {
+    assert!(shards >= 1 && threads >= 1);
+    let n = graph.num_nodes();
+    let part = Partition::bfs_grown(graph, shards);
+    let stats0 = ShardExecStats {
+        shards,
+        cut_edges: part.cut_size(),
+        ..ShardExecStats::default()
+    };
+    if n == 0 {
+        return SimOutcome {
+            outputs: Vec::new(),
+            rounds: 0,
+            messages: 0,
+            completed: true,
+            trace: want_trace.then(Vec::new),
+            sharding: Some(stats0),
+        };
+    }
+    if max_rounds == 0 {
+        // Match the sequential executor's cap-before-stepping check: a zero
+        // budget executes nothing.
+        return SimOutcome {
+            outputs: states.into_iter().map(P::finish).collect(),
+            rounds: 0,
+            messages: 0,
+            completed: false,
+            trace: want_trace.then(Vec::new),
+            sharding: Some(stats0),
+        };
+    }
+    let threads = threads.min(shards);
+    let plane: ShardPlane<P::Message> = ShardPlane::new(graph, &part);
+    let queues: BatchQueues<P::Message> = BatchQueues::new(shards);
+    let traffic = WakeSet::new(shards);
+    debug_assert!(max_rounds < u32::MAX - 1, "stamps reserve u32::MAX");
+
+    // Nodes are stepped through raw pointers: every node belongs to exactly
+    // one shard, every shard to exactly one worker, so the accesses are
+    // disjoint; barriers separate the rounds.
+    let states_ptr = SendPtr(states.as_mut_ptr());
+    let total_halted = AtomicUsize::new(0);
+    let messages = AtomicU64::new(0);
+    let round_messages = AtomicU64::new(0);
+    let stepped_total = AtomicU64::new(0);
+    let skipped_total = AtomicU64::new(0);
+    let stop = AtomicBool::new(false);
+    let completed = AtomicBool::new(false);
+    let final_rounds = AtomicU32::new(0);
+    let pending: Mutex<Vec<u32>> = Mutex::new(Vec::new());
+    let barrier = Barrier::new(threads);
+    let trace: Mutex<Vec<RoundStats>> = Mutex::new(Vec::new());
+
+    crossbeam::thread::scope(|scope| {
+        for w in 0..threads {
+            let part = &part;
+            let plane = &plane;
+            let queues = &queues;
+            let traffic = &traffic;
+            let barrier = &barrier;
+            let total_halted = &total_halted;
+            let messages = &messages;
+            let round_messages = &round_messages;
+            let stepped_total = &stepped_total;
+            let skipped_total = &skipped_total;
+            let stop = &stop;
+            let completed = &completed;
+            let final_rounds = &final_rounds;
+            let pending = &pending;
+            let trace = &trace;
+            let states_ptr = &states_ptr;
+            scope.spawn(move |_| {
+                let my_shards: Vec<usize> = (w..shards).step_by(threads).collect();
+                let mut halted: Vec<Vec<bool>> = my_shards
+                    .iter()
+                    .map(|&s| vec![false; part.nodes_of(s).len()])
+                    .collect();
+                let mut remaining: Vec<usize> =
+                    my_shards.iter().map(|&s| part.nodes_of(s).len()).collect();
+                let mut round: u32 = 0;
+                let mut halted_before: usize = 0; // coordinator-only
+                                                  // Worker-local snapshot of the pending-traffic list, so the
+                                                  // deliver phase never holds the shared lock while flushing.
+                let mut my_pending: Vec<u32> = Vec::new();
+                loop {
+                    // ---- compute phase ---------------------------------
+                    let ctx = RoundCtx { round };
+                    let mut local_msgs: u64 = 0;
+                    let mut newly_halted: usize = 0;
+                    let mut stepped: u64 = 0;
+                    let mut skipped: u64 = 0;
+                    for (k, &sh) in my_shards.iter().enumerate() {
+                        if remaining[k] == 0 {
+                            // Fully quiesced shard: skip the round outright.
+                            if !part.nodes_of(sh).is_empty() {
+                                skipped += 1;
+                            }
+                            continue;
+                        }
+                        stepped += 1;
+                        let (reader, writer) = plane.arena(sh).epoch(round);
+                        let route = ShardRoute {
+                            shard: sh as u32,
+                            slot_shard: &plane.slot_shard,
+                            slot_local: &plane.slot_local,
+                            queues,
+                            traffic,
+                        };
+                        for (i, &v) in part.nodes_of(sh).iter().enumerate() {
+                            if halted[k][i] {
+                                continue;
+                            }
+                            let node = NodeId(v);
+                            let inbox = Inbox {
+                                reader,
+                                base: plane.node_base(node),
+                                degree: graph.degree(node),
+                            };
+                            let mut outbox = Outbox {
+                                writer,
+                                graph,
+                                node,
+                                sent: 0,
+                                wake: None,
+                                route: Some(&route),
+                            };
+                            // SAFETY: node `v` belongs to shard `sh`, owned
+                            // by this worker alone.
+                            let state = unsafe { &mut *states_ptr.0.add(v as usize) };
+                            let status = state.round(&ctx, &inbox, &mut outbox);
+                            local_msgs += outbox.sent;
+                            if status == Status::Halt {
+                                halted[k][i] = true;
+                                remaining[k] -= 1;
+                                newly_halted += 1;
+                            }
+                        }
+                    }
+                    messages.fetch_add(local_msgs, Ordering::Relaxed);
+                    round_messages.fetch_add(local_msgs, Ordering::Relaxed);
+                    total_halted.fetch_add(newly_halted, Ordering::Relaxed);
+                    stepped_total.fetch_add(stepped, Ordering::Relaxed);
+                    skipped_total.fetch_add(skipped, Ordering::Relaxed);
+                    // (a) all sends, queue appends and traffic marks done.
+                    barrier.wait();
+                    if w == 0 {
+                        let halted_now = total_halted.load(Ordering::Relaxed);
+                        if want_trace {
+                            trace.lock().push(RoundStats {
+                                round,
+                                active_nodes: n - halted_before,
+                                messages: round_messages.swap(0, Ordering::Relaxed),
+                            });
+                        } else {
+                            round_messages.store(0, Ordering::Relaxed);
+                        }
+                        halted_before = halted_now;
+                        *pending.lock() = traffic.drain_sorted();
+                        if halted_now == n {
+                            completed.store(true, Ordering::Relaxed);
+                            final_rounds.store(round + 1, Ordering::Relaxed);
+                            stop.store(true, Ordering::Relaxed);
+                        } else if round + 1 >= max_rounds {
+                            final_rounds.store(round + 1, Ordering::Relaxed);
+                            stop.store(true, Ordering::Relaxed);
+                        }
+                    }
+                    // (b) stop decision and pending-traffic list published.
+                    barrier.wait();
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    // ---- deliver phase ---------------------------------
+                    my_pending.clear();
+                    my_pending.extend(
+                        pending
+                            .lock()
+                            .iter()
+                            .copied()
+                            .filter(|&d| d as usize % threads == w),
+                    );
+                    for &d in &my_pending {
+                        let d = d as usize;
+                        let (_, writer) = plane.arena(d).epoch(round);
+                        // SAFETY: column `d` belongs to shard `d`'s owner
+                        // (this worker) during the deliver phase.
+                        unsafe { queues.flush_into(d, &writer) };
+                    }
+                    // (c) boundary messages published before the next
+                    // round's reads.
+                    barrier.wait();
+                    round += 1;
+                }
+            });
+        }
+    })
+    .expect("sharded simulator worker panicked");
+
+    SimOutcome {
+        outputs: states.into_iter().map(P::finish).collect(),
+        rounds: final_rounds.load(Ordering::Relaxed),
+        messages: messages.load(Ordering::Relaxed),
+        completed: completed.load(Ordering::Relaxed),
+        trace: want_trace.then(|| trace.into_inner()),
+        sharding: Some(ShardExecStats {
+            shard_rounds_stepped: stepped_total.load(Ordering::Relaxed),
+            shard_rounds_skipped: skipped_total.load(Ordering::Relaxed),
+            ..stats0
+        }),
+    }
+}

@@ -9,9 +9,9 @@ use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering}
 use std::sync::Barrier;
 use td_graph::{CsrGraph, NodeId};
 
-/// Which engine steps the nodes. Both engines implement the *same*
+/// Which engine steps the nodes. All engines implement the *same*
 /// synchronous semantics; outputs and round counts are identical (tests
-/// enforce this). Parallelism affects wall-clock time only.
+/// enforce this). Parallelism and sharding affect wall-clock time only.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Executor {
     /// Step nodes one by one on the calling thread.
@@ -19,6 +19,15 @@ pub enum Executor {
     /// Step nodes on `threads` worker threads (strided node partition).
     Parallel {
         /// Number of worker threads (>= 1).
+        threads: usize,
+    },
+    /// Step nodes shard by shard on a locality-aware BFS-grown partition,
+    /// with per-shard message arenas and batched boundary delivery (see
+    /// [`crate::shard`]). Fully quiesced shards skip rounds entirely.
+    Sharded {
+        /// Number of shards (>= 1).
+        shards: usize,
+        /// Number of worker threads (>= 1; clamped to `shards`).
         threads: usize,
     },
 }
@@ -47,6 +56,19 @@ impl Simulator {
         assert!(threads >= 1);
         Simulator {
             executor: Executor::Parallel { threads },
+            max_rounds: 10_000_000,
+            trace: false,
+        }
+    }
+
+    /// A sharded simulator: `shards` locality-aware shards (BFS-grown
+    /// partition, per-shard arenas, batched boundary delivery) stepped by
+    /// `threads` workers. Outputs are bit-identical to
+    /// [`Simulator::sequential`] for every shard and thread count.
+    pub fn sharded(shards: usize, threads: usize) -> Self {
+        assert!(shards >= 1 && threads >= 1);
+        Simulator {
+            executor: Executor::Sharded { shards, threads },
             max_rounds: 10_000_000,
             trace: false,
         }
@@ -89,6 +111,14 @@ impl Simulator {
         match self.executor {
             Executor::Sequential => self.run_sequential(graph, states),
             Executor::Parallel { threads } => self.run_parallel(graph, states, threads),
+            Executor::Sharded { shards, threads } => crate::shard::run_sharded(
+                graph,
+                states,
+                shards,
+                threads,
+                self.max_rounds,
+                self.trace,
+            ),
         }
     }
 
@@ -130,6 +160,7 @@ impl Simulator {
                     node,
                     sent: 0,
                     wake: None,
+                    route: None,
                 };
                 let status = states[v].round(&ctx, &inbox, &mut outbox);
                 round_msgs += outbox.sent;
@@ -155,6 +186,7 @@ impl Simulator {
             messages,
             completed: remaining == 0,
             trace,
+            sharding: None,
         }
     }
 
@@ -172,6 +204,20 @@ impl Simulator {
                 messages: 0,
                 completed: true,
                 trace: self.trace.then(Vec::new),
+                sharding: None,
+            };
+        }
+        if self.max_rounds == 0 {
+            // Match the sequential executor's cap-before-stepping check: a
+            // zero budget executes nothing (the worker loop below always
+            // runs its first round before checking the cap).
+            return SimOutcome {
+                outputs: states.into_iter().map(P::finish).collect(),
+                rounds: 0,
+                messages: 0,
+                completed: false,
+                trace: self.trace.then(Vec::new),
+                sharding: None,
             };
         }
         let threads = threads.min(n);
@@ -261,6 +307,7 @@ impl Simulator {
                                 node,
                                 sent: 0,
                                 wake: None,
+                                route: None,
                             };
                             let status = state.round(&ctx, &inbox, &mut outbox);
                             local_msgs += outbox.sent;
@@ -322,6 +369,7 @@ impl Simulator {
             messages: messages.load(Ordering::Relaxed),
             completed: completed.load(Ordering::Relaxed),
             trace: want_trace.then(|| trace.into_inner()),
+            sharding: None,
         }
     }
 }
@@ -565,5 +613,144 @@ mod tests {
         let par = Simulator::parallel(3).run::<HaltEarly>(&g, &[(); 10]);
         assert_eq!(par.rounds, out.rounds);
         assert_eq!(par.messages, out.messages);
+    }
+
+    #[test]
+    fn sharded_matches_sequential_on_every_grid_point() {
+        let g = cycle(31);
+        let seq = Simulator::sequential().run::<BfsDist>(&g, &bfs_inputs(31));
+        for shards in [1, 2, 4, 8] {
+            for threads in [1, 2, 4] {
+                let sh = Simulator::sharded(shards, threads).run::<BfsDist>(&g, &bfs_inputs(31));
+                assert_eq!(sh.outputs, seq.outputs, "shards {shards} threads {threads}");
+                assert_eq!(sh.rounds, seq.rounds, "shards {shards} threads {threads}");
+                assert_eq!(
+                    sh.messages, seq.messages,
+                    "shards {shards} threads {threads}"
+                );
+                assert!(sh.completed);
+                let stats = sh.sharding.expect("sharded run reports stats");
+                assert_eq!(stats.shards, shards);
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_trace_matches_sequential() {
+        let g = path(23);
+        let seq = Simulator::sequential()
+            .with_trace(true)
+            .run::<BfsDist>(&g, &bfs_inputs(23));
+        let sh = Simulator::sharded(4, 2)
+            .with_trace(true)
+            .run::<BfsDist>(&g, &bfs_inputs(23));
+        assert_eq!(seq.trace, sh.trace);
+    }
+
+    #[test]
+    fn sharded_port_addressing_and_cross_shard_batches() {
+        // Force every edge across shards (path + many shards) so the
+        // batched boundary path carries all traffic.
+        let g = path(3);
+        let out = Simulator::sharded(3, 2).run::<PortEcho>(&g, &[(); 3]);
+        assert!(out.completed);
+        assert_eq!(out.rounds, 2);
+        assert_eq!(out.outputs[0], vec![Some(0)]);
+        assert_eq!(out.outputs[1], vec![Some(0), Some(0)]);
+        assert_eq!(out.outputs[2], vec![Some(1)]);
+        assert_eq!(out.messages, 4);
+        assert!(out.sharding.unwrap().cut_edges > 0);
+    }
+
+    /// Half the cycle halts immediately, the other half keeps gossiping:
+    /// the quiesced half's shards must skip rounds.
+    struct HalfQuiesce {
+        long: bool,
+    }
+
+    impl Protocol for HalfQuiesce {
+        type Input = bool; // run long?
+        type Message = u8;
+        type Output = ();
+
+        fn init(node: NodeInit<'_, bool>) -> Self {
+            HalfQuiesce { long: *node.input }
+        }
+
+        fn round(
+            &mut self,
+            ctx: &RoundCtx,
+            _inbox: &Inbox<'_, u8>,
+            _outbox: &mut Outbox<'_, '_, u8>,
+        ) -> Status {
+            if !self.long || ctx.round >= 20 {
+                Status::Halt
+            } else {
+                Status::Continue
+            }
+        }
+
+        fn finish(self) {}
+    }
+
+    #[test]
+    fn quiesced_shards_skip_rounds() {
+        // Path of 32: the first 8 nodes run 21 rounds, the rest halt in
+        // round 0. With 4 BFS shards (blocks of 8), shards 1-3 are
+        // quiesced from round 1 on.
+        let g = path(32);
+        let inputs: Vec<bool> = (0..32).map(|v| v < 8).collect();
+        let out = Simulator::sharded(4, 2).run::<HalfQuiesce>(&g, &inputs);
+        assert!(out.completed);
+        assert_eq!(out.rounds, 21);
+        let stats = out.sharding.unwrap();
+        // Shards 1-3 skip rounds 1..=20 -> 60 skipped shard-rounds.
+        assert_eq!(stats.shard_rounds_skipped, 60);
+        assert_eq!(stats.shard_rounds_stepped, 21 + 3);
+        let seq = Simulator::sequential().run::<HalfQuiesce>(&g, &inputs);
+        assert_eq!(seq.rounds, out.rounds);
+    }
+
+    #[test]
+    fn sharded_empty_graph_and_more_shards_than_nodes() {
+        let g = td_graph::CsrGraph::from_edges(0, &[]).unwrap();
+        let out = Simulator::sharded(4, 4).run::<BfsDist>(&g, &[]);
+        assert!(out.completed);
+        assert_eq!(out.rounds, 0);
+        let g = path(3);
+        let out = Simulator::sharded(8, 8).run::<BfsDist>(&g, &bfs_inputs(3));
+        let seq = Simulator::sequential().run::<BfsDist>(&g, &bfs_inputs(3));
+        assert_eq!(out.outputs, seq.outputs);
+        assert_eq!(out.rounds, seq.rounds);
+        assert_eq!(out.messages, seq.messages);
+    }
+
+    #[test]
+    fn sharded_round_cap_reported() {
+        let g = path(64);
+        let out = Simulator::sharded(4, 2)
+            .with_max_rounds(3)
+            .run::<BfsDist>(&g, &bfs_inputs(64));
+        assert!(!out.completed);
+        assert_eq!(out.rounds, 3);
+    }
+
+    #[test]
+    fn zero_round_cap_is_executor_independent() {
+        let g = path(8);
+        let seq = Simulator::sequential()
+            .with_max_rounds(0)
+            .run::<BfsDist>(&g, &bfs_inputs(8));
+        for sim in [
+            Simulator::parallel(3).with_max_rounds(0),
+            Simulator::sharded(4, 2).with_max_rounds(0),
+        ] {
+            let out = sim.run::<BfsDist>(&g, &bfs_inputs(8));
+            assert_eq!(out.rounds, seq.rounds);
+            assert_eq!(out.rounds, 0);
+            assert_eq!(out.messages, 0);
+            assert!(!out.completed);
+            assert_eq!(out.outputs, seq.outputs);
+        }
     }
 }

@@ -292,6 +292,7 @@ pub struct OrientChurnEngine {
     orientation: Orientation,
     mode: RepairMode,
     threads: usize,
+    shards: usize,
     max_rounds: u32,
 }
 
@@ -310,6 +311,7 @@ impl OrientChurnEngine {
             orientation,
             mode,
             threads: 1,
+            shards: 1,
             max_rounds: 10_000_000,
         }
     }
@@ -318,6 +320,15 @@ impl OrientChurnEngine {
     pub fn with_threads(mut self, threads: usize) -> Self {
         assert!(threads >= 1);
         self.threads = threads;
+        self
+    }
+
+    /// Sets the shard count: `shards > 1` runs repairs on the sharded
+    /// message plane (locality-aware partition, batched boundary delivery);
+    /// repair traces are bit-identical either way.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        assert!(shards >= 1);
+        self.shards = shards;
         self
     }
 
@@ -517,7 +528,12 @@ impl OrientChurnEngine {
     }
 
     fn run_repair(&mut self) -> RepairStats {
-        let stats = self.sim.run(self.threads, self.max_rounds);
+        let stats = if self.shards > 1 {
+            self.sim
+                .run_sharded(self.shards, self.threads, self.max_rounds)
+        } else {
+            self.sim.run(self.threads, self.max_rounds)
+        };
         assert!(stats.completed, "repair hit the round cap");
         // Re-assemble the maintained orientation from the node snapshots,
         // checking that the two endpoints of every edge agree.

@@ -35,8 +35,11 @@ USAGE:
   td assign <file> --customers <nc> [--bounded <k>] [--optimal]
                                        stable / k-bounded / optimal assignment
   td bench                             list the registered scenarios
-  td bench <scenario> [--size N] [--seed S] [--threads T]
-                                       run one scenario and report its cost
+  td bench <scenario> [--size N] [--seed S] [--threads T] [--shards K]
+                                       run one scenario and report its cost;
+                                       --shards K > 1 uses the sharded
+                                       executor (same outputs, batched
+                                       boundary delivery)
   td churn                             list the churn (dynamic) scenarios
   td churn <scenario> [--events N] [--size N] [--seed S] [--threads T]
            [--full] [--compare]        stream a churn trace through the
@@ -114,6 +117,7 @@ struct RunFlags {
     events: u32,
     seed: u64,
     threads: usize,
+    shards: usize,
     full: bool,
     compare: bool,
 }
@@ -125,6 +129,7 @@ impl RunFlags {
             events: default_events,
             seed: 42,
             threads: 1,
+            shards: 1,
             full: false,
             compare: false,
         }
@@ -147,8 +152,8 @@ impl RunFlags {
                     self.compare = true;
                     i += 1;
                 }
-                "--size" | "--seed" | "--threads" | "--events"
-                    if flag != "--events" || known_extra =>
+                "--size" | "--seed" | "--threads" | "--events" | "--shards"
+                    if (flag != "--events" && flag != "--shards") || known_extra =>
                 {
                     let Some(raw) = args.get(i + 1) else {
                         eprintln!("{cmd}: {flag} needs an integer");
@@ -173,6 +178,13 @@ impl RunFlags {
                             Ok(v) => self.seed = v,
                             Err(_) => {
                                 eprintln!("{cmd}: --seed needs an integer");
+                                return Err(2);
+                            }
+                        },
+                        "--shards" => match raw.parse() {
+                            Ok(v) if v >= 1 => self.shards = v,
+                            _ => {
+                                eprintln!("{cmd}: --shards needs an integer >= 1");
                                 return Err(2);
                             }
                         },
@@ -210,17 +222,24 @@ fn cmd_bench(args: &[String]) -> i32 {
         return 2;
     };
     let mut flags = RunFlags::new(sc.default_size(), 0);
-    if let Err(code) = flags.parse("td bench", &args[1..], &[]) {
+    if let Err(code) = flags.parse("td bench", &args[1..], &["--shards"]) {
         return code;
     }
-    let (size, seed, threads) = (flags.size, flags.seed, flags.threads);
-    let sim = if threads > 1 {
+    let (size, seed, threads, shards) = (flags.size, flags.seed, flags.threads, flags.shards);
+    // `--shards 1` is exactly the default (unsharded) path; outputs are
+    // bit-identical across all three executors either way.
+    let sim = if shards > 1 {
+        Simulator::sharded(shards, threads)
+    } else if threads > 1 {
         Simulator::parallel(threads)
     } else {
         Simulator::sequential()
     };
     let rep = sc.run(size, seed, &sim);
     println!("scenario:   {} ({})", rep.scenario, sc.kind().label());
+    if shards > 1 {
+        println!("executor:   sharded ({shards} shards, {threads} threads)");
+    }
     println!(
         "instance:   n = {}, m = {}, size = {}, seed = {}",
         rep.nodes, rep.edges, rep.size, rep.seed

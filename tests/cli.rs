@@ -155,6 +155,65 @@ fn churn_zero_events_is_a_clean_noop() {
 }
 
 #[test]
+fn bench_shards_matches_default_path() {
+    // `--shards 1` is literally the default executor; `--shards 4` must
+    // report the same rounds/messages (bit-identical contract). Compare
+    // every deterministic line (wall time excluded).
+    let deterministic = |out: &str| -> Vec<String> {
+        out.lines()
+            .filter(|l| !l.starts_with("wall time:") && !l.starts_with("executor:"))
+            .map(String::from)
+            .collect()
+    };
+    let (base, err, ok) = run_td(&["bench", "rotor-sweep", "--size", "6"], None);
+    assert!(ok, "{err}");
+    let (one, _, ok) = run_td(
+        &["bench", "rotor-sweep", "--size", "6", "--shards", "1"],
+        None,
+    );
+    assert!(ok);
+    assert_eq!(deterministic(&base), deterministic(&one));
+    let (four, _, ok) = run_td(
+        &[
+            "bench",
+            "rotor-sweep",
+            "--size",
+            "6",
+            "--shards",
+            "4",
+            "--threads",
+            "2",
+        ],
+        None,
+    );
+    assert!(ok);
+    assert!(
+        four.contains("executor:   sharded (4 shards, 2 threads)"),
+        "{four}"
+    );
+    assert_eq!(deterministic(&base), deterministic(&four));
+}
+
+#[test]
+fn bench_shards_flag_errors_exit_2() {
+    for bad in [
+        vec!["bench", "rotor-sweep", "--shards", "0"],
+        vec!["bench", "rotor-sweep", "--shards", "x"],
+        vec!["bench", "rotor-sweep", "--shards"],
+        // --shards is a bench flag; churn must reject it as unknown.
+        vec!["churn", "edge-flip", "--shards", "4"],
+    ] {
+        let out = Command::new(BIN).args(&bad).output().unwrap();
+        assert_eq!(out.status.code(), Some(2), "args {bad:?}");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            err.contains("--shards") || err.contains("unknown flag"),
+            "args {bad:?}: {err}"
+        );
+    }
+}
+
+#[test]
 fn churn_flag_errors_exit_2() {
     let out = Command::new(BIN)
         .args(["churn", "edge-flip", "--events"])

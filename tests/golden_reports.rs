@@ -1,0 +1,128 @@
+//! Golden snapshot tests for [`td_bench::ScenarioReport`]: every registry
+//! scenario, run at a fixed small size and seed on the sequential
+//! executor, must serialize to exactly the snapshot stored under
+//! `tests/golden/`. Any drift in instance shape, rounds, messages, or
+//! notes fails with a readable line diff.
+//!
+//! To bless intentional changes (new scenario, changed workload, changed
+//! cost accounting), regenerate the snapshots with:
+//!
+//! ```sh
+//! UPDATE_GOLDEN=1 cargo test --test golden_reports
+//! ```
+//!
+//! and review the resulting `tests/golden/*.golden` diff like any other
+//! code change.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use td_bench::scenario::{registry, Scenario, ScenarioKind};
+use td_local::Simulator;
+
+/// Fixed golden sizes: small enough to run in milliseconds, large enough
+/// that every scenario does nontrivial work.
+fn golden_size(sc: &dyn Scenario) -> u32 {
+    match sc.kind() {
+        ScenarioKind::Game => 4,
+        ScenarioKind::Orientation => {
+            if sc.name() == "cascade-orientation" {
+                16
+            } else {
+                3
+            }
+        }
+        ScenarioKind::Assignment => 3,
+    }
+}
+
+const GOLDEN_SEED: u64 = 42;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+}
+
+/// Renders a line-by-line diff: ` ` common, `-` expected only, `+` actual
+/// only (plain LCS-free positional diff — the snapshots are short and
+/// line-aligned, so positional is the readable choice).
+fn render_diff(expected: &str, actual: &str) -> String {
+    let e: Vec<&str> = expected.lines().collect();
+    let a: Vec<&str> = actual.lines().collect();
+    let mut out = String::new();
+    for i in 0..e.len().max(a.len()) {
+        match (e.get(i), a.get(i)) {
+            (Some(x), Some(y)) if x == y => writeln!(out, "  {x}").unwrap(),
+            (Some(x), Some(y)) => {
+                writeln!(out, "- {x}").unwrap();
+                writeln!(out, "+ {y}").unwrap();
+            }
+            (Some(x), None) => writeln!(out, "- {x}").unwrap(),
+            (None, Some(y)) => writeln!(out, "+ {y}").unwrap(),
+            (None, None) => unreachable!(),
+        }
+    }
+    out
+}
+
+#[test]
+fn every_scenario_report_matches_its_golden_snapshot() {
+    let update = std::env::var_os("UPDATE_GOLDEN").is_some();
+    let dir = golden_dir();
+    if update {
+        std::fs::create_dir_all(&dir).expect("create tests/golden");
+    }
+    let sim = Simulator::sequential();
+    let mut failures = Vec::new();
+    for sc in registry() {
+        let rep = sc.run(golden_size(*sc), GOLDEN_SEED, &sim);
+        let actual = rep.golden();
+        let path = dir.join(format!("{}.golden", sc.name()));
+        if update {
+            std::fs::write(&path, &actual).expect("write golden");
+            continue;
+        }
+        let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing golden snapshot {path:?} ({e}); \
+                 run UPDATE_GOLDEN=1 cargo test --test golden_reports"
+            )
+        });
+        if expected != actual {
+            failures.push(format!(
+                "{} drifted from {path:?} (-expected +actual):\n{}",
+                sc.name(),
+                render_diff(&expected, &actual)
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} scenario report(s) drifted:\n\n{}\n\
+         If the change is intentional, bless it with \
+         UPDATE_GOLDEN=1 cargo test --test golden_reports",
+        failures.len(),
+        failures.join("\n")
+    );
+}
+
+/// The snapshots themselves must be executor-independent: the golden run
+/// reproduces bit-identically on the sharded executor.
+#[test]
+fn golden_runs_are_executor_independent() {
+    let sim = Simulator::sequential();
+    let sharded = Simulator::sharded(4, 2);
+    for sc in registry() {
+        // cascade-orientation uses its own host-side driver; everything
+        // else exercises the executor. Run both anyway — equality must
+        // hold regardless.
+        let a = sc.run(golden_size(*sc), GOLDEN_SEED, &sim);
+        let b = sc.run(golden_size(*sc), GOLDEN_SEED, &sharded);
+        assert_eq!(
+            a.golden(),
+            b.golden(),
+            "{} drifts under sharding",
+            sc.name()
+        );
+    }
+}

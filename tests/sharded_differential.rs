@@ -1,0 +1,228 @@
+//! Differential testing of the sharded executor: for every registry
+//! scenario and a sample of churn traces, the sharded executor
+//! (locality-aware partition, per-shard arenas, batched boundary delivery)
+//! must be **bit-identical** to the sequential and strided-parallel
+//! executors — same outputs, same round counts, same message counts — over
+//! the whole shard × thread grid.
+//!
+//! This is the contract that makes `Simulator::sharded(s, t)` (and the
+//! churn engines' `with_shards`) a pure performance knob, exactly like the
+//! thread count before it.
+
+use td_bench::scenario::{registry, ScenarioKind};
+use td_bench::workloads;
+use td_local::churn::RepairMode;
+use td_local::Simulator;
+use token_dropping::assign::protocol::run_distributed_assignment;
+use token_dropping::assign::repair::AssignChurnEngine;
+use token_dropping::core::proposal;
+use token_dropping::local::ChurnEvent;
+use token_dropping::orient::protocol::run_distributed;
+use token_dropping::orient::repair::OrientChurnEngine;
+use token_dropping::orient::Orientation;
+
+const SHARDS: [usize; 4] = [1, 2, 4, 8];
+const THREADS: [usize; 3] = [1, 2, 4];
+
+fn small_size(kind: ScenarioKind, name: &str) -> u32 {
+    match kind {
+        ScenarioKind::Game => 4,
+        ScenarioKind::Orientation => {
+            if name == "cascade-orientation" {
+                16
+            } else {
+                3
+            }
+        }
+        // The exact stable-assignment protocol is O(C·S⁴); size 3 keeps
+        // the 14-executor sweep fast while still crossing shard borders.
+        ScenarioKind::Assignment => 3,
+    }
+}
+
+/// Every registry scenario reports identical rounds and message counts
+/// under sequential, strided-parallel, and every (shards × threads) grid
+/// point of the sharded executor. Each run also self-verifies its output
+/// (stability, rules 1-3, k-boundedness) inside `Scenario::run`.
+#[test]
+fn registry_scenarios_identical_across_executors() {
+    for sc in registry() {
+        let size = small_size(sc.kind(), sc.name());
+        let seq = sc.run(size, 42, &Simulator::sequential());
+        let par = sc.run(size, 42, &Simulator::parallel(3));
+        assert_eq!(seq.rounds, par.rounds, "{} strided rounds", sc.name());
+        assert_eq!(seq.messages, par.messages, "{} strided messages", sc.name());
+        for &s in &SHARDS {
+            for &t in &THREADS {
+                let sh = sc.run(size, 42, &Simulator::sharded(s, t));
+                assert_eq!(
+                    seq.rounds,
+                    sh.rounds,
+                    "{} rounds diverge at shards {s}, threads {t}",
+                    sc.name()
+                );
+                assert_eq!(
+                    seq.messages,
+                    sh.messages,
+                    "{} messages diverge at shards {s}, threads {t}",
+                    sc.name()
+                );
+            }
+        }
+    }
+}
+
+/// Protocol-level outputs (not just counts): the proposal protocol's move
+/// log and solution are bit-identical over the executor grid.
+#[test]
+fn game_outputs_identical_across_executors() {
+    for &seed in &[3u64, 9001] {
+        let game = workloads::layered_game(4, 4, seed);
+        let seq = proposal::run_on_simulator(&game, &Simulator::sequential());
+        for &s in &SHARDS {
+            for &t in &THREADS {
+                let sh = proposal::run_on_simulator(&game, &Simulator::sharded(s, t));
+                assert_eq!(seq.solution, sh.solution, "seed {seed}, {s}x{t}");
+                assert_eq!(seq.log, sh.log, "seed {seed}, {s}x{t}");
+                assert_eq!(seq.comm_rounds, sh.comm_rounds, "seed {seed}, {s}x{t}");
+                assert_eq!(seq.messages, sh.messages, "seed {seed}, {s}x{t}");
+            }
+        }
+    }
+}
+
+/// Stable orientation outputs over the grid.
+#[test]
+fn orientation_outputs_identical_across_executors() {
+    for &seed in &[17u64, 9001] {
+        let g = workloads::regular_graph(3, 8, seed);
+        let seq = run_distributed(&g, &Simulator::sequential());
+        seq.orientation.verify_stable(&g).unwrap();
+        for &s in &SHARDS {
+            for &t in &THREADS {
+                let sh = run_distributed(&g, &Simulator::sharded(s, t));
+                assert_eq!(seq.orientation, sh.orientation, "seed {seed}, {s}x{t}");
+                assert_eq!(seq.comm_rounds, sh.comm_rounds, "seed {seed}, {s}x{t}");
+                assert_eq!(seq.messages, sh.messages, "seed {seed}, {s}x{t}");
+            }
+        }
+    }
+}
+
+/// Stable assignment outputs (exact and 2-bounded) over the grid.
+#[test]
+fn assignment_outputs_identical_across_executors() {
+    let inst = workloads::uniform_assignment(9, 4, 3);
+    for bound in [None, Some(2)] {
+        let seq = run_distributed_assignment(&inst, bound, &Simulator::sequential());
+        for &s in &SHARDS {
+            for &t in &THREADS {
+                let sh = run_distributed_assignment(&inst, bound, &Simulator::sharded(s, t));
+                assert_eq!(seq.assignment, sh.assignment, "bound {bound:?}, {s}x{t}");
+                assert_eq!(seq.comm_rounds, sh.comm_rounds, "bound {bound:?}, {s}x{t}");
+                assert_eq!(seq.messages, sh.messages, "bound {bound:?}, {s}x{t}");
+            }
+        }
+    }
+}
+
+/// A sample of churn traces on the sharded plane: an adversarial edge-flip
+/// trace on the orientation repair engine, bit-identical repair stats and
+/// final solution across every shard × thread grid point.
+#[test]
+fn churn_orientation_trace_identical_on_sharded_plane() {
+    use td_graph::EdgeId;
+    let run = |shards: usize, threads: usize| {
+        let g = workloads::regular_graph(4, 10, 7);
+        let mut eng = OrientChurnEngine::new(
+            g.clone(),
+            Orientation::toward_larger(&g),
+            RepairMode::Incremental,
+        )
+        .with_threads(threads)
+        .with_shards(shards);
+        let mut total = eng.stabilize();
+        eng.verify().expect("initial stabilization");
+        // Deterministic flip trace: walk the edge list with a fixed stride.
+        for i in 0..12u32 {
+            let e = EdgeId((i * 7) % g.num_edges() as u32);
+            let (u, v) = g.endpoints(e);
+            total.absorb(eng.apply(&ChurnEvent::EdgeFlip { u, v }).expect("valid"));
+            eng.verify().expect("stable after repair");
+        }
+        let fingerprint: Vec<u32> = g
+            .edges()
+            .map(|e| eng.orientation().head(e).expect("complete").0)
+            .collect();
+        (total, fingerprint)
+    };
+    let (seq_stats, seq_fp) = run(1, 1);
+    for &s in &SHARDS {
+        for &t in &THREADS {
+            let (stats, fp) = run(s, t);
+            assert_eq!(seq_fp, fp, "solution diverges at {s}x{t}");
+            assert_eq!(seq_stats, stats, "repair stats diverge at {s}x{t}");
+        }
+    }
+}
+
+/// Same for the assignment repair engine, under a drain/rejoin trace.
+#[test]
+fn churn_assignment_trace_identical_on_sharded_plane() {
+    let run = |shards: usize, threads: usize| {
+        let base = workloads::uniform_assignment(18, 6, 11);
+        let mut eng = AssignChurnEngine::new(&base, RepairMode::Incremental)
+            .with_threads(threads)
+            .with_shards(shards);
+        let mut total = eng.stabilize();
+        eng.verify().expect("initial stabilization");
+        for i in 0..10u32 {
+            let ev = match i % 3 {
+                0 => ChurnEvent::ServerCapacity {
+                    server: (i / 3) % 6,
+                    capacity: 0,
+                },
+                1 => ChurnEvent::ServerCapacity {
+                    server: (i / 3) % 6,
+                    capacity: 1,
+                },
+                _ => ChurnEvent::CustomerJoin {
+                    servers: vec![i % 6, (i + 2) % 6],
+                },
+            };
+            total.absorb(eng.apply(&ev).expect("valid"));
+            eng.verify().expect("stable after repair");
+        }
+        let fp: Vec<u32> = eng
+            .assignment_vector()
+            .iter()
+            .map(|a| a.map_or(0, |s| s + 1))
+            .collect();
+        (total, fp)
+    };
+    let (seq_stats, seq_fp) = run(1, 1);
+    for &s in &SHARDS {
+        for &t in &THREADS {
+            let (stats, fp) = run(s, t);
+            assert_eq!(seq_fp, fp, "assignment diverges at {s}x{t}");
+            assert_eq!(seq_stats, stats, "repair stats diverge at {s}x{t}");
+        }
+    }
+}
+
+/// The quiesced-shard skip is observable: a workload whose active region
+/// is confined to one end of a path reports skipped shard-rounds without
+/// changing any output.
+#[test]
+fn quiesced_regions_skip_shard_rounds_without_changing_outputs() {
+    let game = workloads::layered_game(4, 6, 5);
+    let seq = proposal::run_on_simulator(&game, &Simulator::sequential());
+    let sh = proposal::run_on_simulator(&game, &Simulator::sharded(8, 2));
+    assert_eq!(seq.log, sh.log);
+    let stats = sh.sharding.expect("sharded run reports stats");
+    assert_eq!(stats.shards, 8);
+    assert!(
+        stats.shard_rounds_skipped > 0,
+        "layered drains quiesce top shards early: {stats:?}"
+    );
+}
