@@ -1,6 +1,6 @@
 //! `repro` — regenerates every experiment table in EXPERIMENTS.md.
 //!
-//! Usage: `cargo run --release -p td-bench --bin repro -- [e1|e2|...|e16|stress|scenarios|all]`
+//! Usage: `cargo run --release -p td-bench --bin repro -- [e1|e2|...|e17|stress|scenarios|all]`
 //!
 //! Each experiment prints a table of *measured* quantities (rounds, phases,
 //! ratios) next to the paper's bound, so the shape claims — who wins, by
@@ -77,6 +77,9 @@ fn main() {
     }
     if run("e16") {
         e16();
+    }
+    if run("e17") {
+        e17();
     }
 }
 
@@ -1091,4 +1094,105 @@ fn e16() {
     t.print();
     println!("(per-round work there is tiny, so barrier + flush overhead dominates — shard");
     println!(" when regions are big enough to amortize; see EXPERIMENTS.md)");
+}
+
+/// E17 — round/message scaling across the generated workload families of
+/// the parametric `WorkloadSpec` suite: rounds are set by Δ alone (flat in
+/// n at fixed Δ — the LOCAL-model promise), messages track instance size.
+fn e17() {
+    banner(
+        "E17",
+        "generated families: rounds flat in n at fixed Δ, messages scale with size",
+    );
+    use td_bench::spec::{WorkloadInstance, WorkloadSpec};
+    let sim = Simulator::sequential();
+    // (family, size sweep) — `size` means what the family says it means
+    // (nodes, side, dim, width, servers); see `td fuzz`'s listing.
+    let plans: &[(&str, &[u32])] = &[
+        ("regular", &[24, 48, 96]),
+        ("grid", &[5, 8, 12]),
+        ("torus", &[4, 6, 9]),
+        ("hypercube", &[3, 4, 5, 6]),
+        ("layered", &[6, 12, 24]),
+        ("rotor", &[8, 16, 32, 64]),
+        ("zipf-cluster", &[6, 10, 14]),
+    ];
+    let mut rows = Table::new(&["spec", "n", "m", "Δ", "rounds", "messages", "verified"]);
+    let mut fits = Table::new(&["family", "rounds ~ n^b", "messages ~ n^b"]);
+    for (fam, sizes) in plans {
+        let mut ns: Vec<f64> = Vec::new();
+        let mut rounds: Vec<f64> = Vec::new();
+        let mut msgs: Vec<f64> = Vec::new();
+        for &size in *sizes {
+            let spec = WorkloadSpec::new(fam)
+                .expect("registered family")
+                .with_size(size)
+                .with_seed(42);
+            let (n, m, delta, r, msg) = match spec.build() {
+                WorkloadInstance::Game(game) => {
+                    let res = proposal::run_on_simulator(&game, &sim);
+                    td_core::verify_solution(&game, &res.solution).expect("rules 1-3");
+                    (
+                        game.num_nodes(),
+                        game.graph().num_edges(),
+                        game.max_degree(),
+                        res.comm_rounds as u64,
+                        res.messages,
+                    )
+                }
+                WorkloadInstance::Orientation(g) => {
+                    let res = td_orient::protocol::run_distributed(&g, &sim);
+                    res.orientation.verify_stable(&g).expect("stable");
+                    (
+                        g.num_nodes(),
+                        g.num_edges(),
+                        g.max_degree(),
+                        res.comm_rounds as u64,
+                        res.messages,
+                    )
+                }
+                WorkloadInstance::Assignment { inst, bound } => {
+                    let res = td_assign::protocol::run_distributed_assignment(&inst, bound, &sim);
+                    match bound {
+                        Some(k) => res.assignment.verify_k_bounded(&inst, k).expect("bounded"),
+                        None => res.assignment.verify_stable(&inst).expect("stable"),
+                    }
+                    let m = (0..inst.num_customers())
+                        .map(|c| inst.servers_of(c).len())
+                        .sum();
+                    (
+                        inst.num_customers() + inst.num_servers(),
+                        m,
+                        inst.max_customer_degree(),
+                        res.comm_rounds as u64,
+                        res.messages,
+                    )
+                }
+                _ => unreachable!("e17 sweeps one-shot families only"),
+            };
+            rows.row(vec![
+                spec.to_string(),
+                n.to_string(),
+                m.to_string(),
+                delta.to_string(),
+                r.to_string(),
+                msg.to_string(),
+                "ok".into(),
+            ]);
+            ns.push(n as f64);
+            rounds.push(r as f64);
+            msgs.push(msg as f64);
+        }
+        fits.row(vec![
+            fam.to_string(),
+            format!("{:.2}", fit_power_law(&ns, &rounds)),
+            format!("{:.2}", fit_power_law(&ns, &msgs)),
+        ]);
+    }
+    rows.print();
+    println!();
+    fits.print();
+    println!("(fixed-Δ families — torus, hypercube at fixed dim, rotor — hold rounds flat");
+    println!(" while n grows: the Θ(Δ⁴) / O(L·Δ²) budgets are n-independent, so messages");
+    println!(" grow like the instance itself. every row re-verified its output.)");
 }

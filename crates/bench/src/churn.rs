@@ -449,10 +449,109 @@ impl ChurnScenario for RollingRestartChurn {
     }
 }
 
+// ------------------------------------------------------- small-world-flux ---
+
+/// Orientation churn on a Watts–Strogatz small-world topology: a mixed
+/// flip/insert/delete trace drawn by the `small-world` workload family
+/// ([`crate::spec::WorkloadSpec`]), so `td churn small-world-flux` replays
+/// exactly what the fuzz plane generates for that family.
+struct SmallWorldFlux;
+
+impl ChurnScenario for SmallWorldFlux {
+    fn name(&self) -> &'static str {
+        "small-world-flux"
+    }
+    fn kind(&self) -> ScenarioKind {
+        ScenarioKind::Orientation
+    }
+    fn description(&self) -> &'static str {
+        "mixed flip/insert/delete churn on a Watts-Strogatz small-world graph; size = nodes"
+    }
+    fn default_size(&self) -> u32 {
+        96
+    }
+    fn default_events(&self) -> u32 {
+        32
+    }
+    fn run(
+        &self,
+        size: u32,
+        events: u32,
+        seed: u64,
+        threads: usize,
+        mode: RepairMode,
+        with_recompute: bool,
+    ) -> ChurnReport {
+        let spec = crate::spec::WorkloadSpec::new("small-world")
+            .expect("registered family")
+            .with_size(size)
+            .with_seed(seed)
+            .with_param("events", events);
+        let crate::spec::WorkloadInstance::OrientChurn { graph: g, trace } = spec.build() else {
+            unreachable!("small-world builds an orientation churn instance");
+        };
+        let t0 = Instant::now();
+        let mut eng = OrientChurnEngine::new(g.clone(), Orientation::toward_larger(&g), mode)
+            .with_threads(threads);
+        eng.stabilize();
+        eng.verify().expect("initial stabilization");
+        let mut repair = RepairStats::accumulator();
+        let mut recompute = with_recompute.then(RepairStats::accumulator);
+        let mut applied = 0u32;
+        for ev in &trace {
+            let stats = eng.apply(ev).expect("trace events are valid");
+            eng.verify().expect("stable after repair");
+            repair.absorb(stats);
+            applied += 1;
+            if let Some(acc) = recompute.as_mut() {
+                let mut fresh = OrientChurnEngine::new(
+                    eng.graph().clone(),
+                    Orientation::toward_larger(eng.graph()),
+                    RepairMode::FullRecompute,
+                )
+                .with_threads(threads);
+                acc.absorb(fresh.stabilize());
+            }
+        }
+        let wall = t0.elapsed();
+        let fingerprint: Vec<u32> = eng
+            .graph()
+            .edges()
+            .map(|e| eng.orientation().head(e).expect("complete").0)
+            .collect();
+        let max_load = eng
+            .graph()
+            .nodes()
+            .map(|v| eng.orientation().load(v))
+            .max()
+            .unwrap_or(0);
+        ChurnReport {
+            scenario: self.name(),
+            size,
+            seed,
+            events: applied,
+            nodes: eng.graph().num_nodes(),
+            edges: eng.graph().num_edges(),
+            repair,
+            recompute,
+            fingerprint,
+            wall,
+            notes: Vec::new(),
+        }
+        .note("spec", spec)
+        .note("max load", max_load)
+        .note("potential Σ load²", eng.orientation().potential())
+    }
+}
+
 // -------------------------------------------------------------- registry ---
 
-static CHURN_REGISTRY: &[&dyn ChurnScenario] =
-    &[&EdgeFlipChurn, &FlashCrowdChurn, &RollingRestartChurn];
+static CHURN_REGISTRY: &[&dyn ChurnScenario] = &[
+    &EdgeFlipChurn,
+    &FlashCrowdChurn,
+    &RollingRestartChurn,
+    &SmallWorldFlux,
+];
 
 /// Every registered churn scenario.
 pub fn churn_registry() -> &'static [&'static dyn ChurnScenario] {

@@ -1,7 +1,9 @@
 //! Shared harness code for the reproduction experiments: the [`scenario`]
-//! registry (named workloads behind one interface), workload builders with
-//! controlled (Δ, L, C, S) parameters, aligned table printing, and
-//! growth-rate fitting for the shape checks in EXPERIMENTS.md.
+//! registry (named workloads behind one interface), the parametric
+//! [`spec`] workload generator suite plus its differential [`fuzz`] plane,
+//! workload builders with controlled (Δ, L, C, S) parameters, aligned
+//! table printing, and growth-rate fitting for the shape checks in
+//! EXPERIMENTS.md.
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -10,10 +12,13 @@ use td_core::TokenGame;
 use td_graph::CsrGraph;
 
 pub mod churn;
+pub mod fuzz;
 pub mod scenario;
+pub mod spec;
 
 pub use churn::{ChurnReport, ChurnScenario};
 pub use scenario::{Scenario, ScenarioKind, ScenarioReport};
+pub use spec::{FamilyKind, WorkloadInstance, WorkloadSpec};
 
 /// Workload builders with controlled parameters.
 pub mod workloads {

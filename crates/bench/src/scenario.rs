@@ -417,6 +417,99 @@ impl Scenario for CascadeOrientation {
     }
 }
 
+/// The Θ(Δ⁴) distributed protocol on a side×side torus — the canonical
+/// grid/torus workload of the quasirandom load-balancing literature
+/// (Friedrich et al.), deterministic and exactly 4-regular. `size` = side.
+struct TorusOrientation;
+
+impl Scenario for TorusOrientation {
+    fn name(&self) -> &'static str {
+        "torus-orientation"
+    }
+    fn kind(&self) -> ScenarioKind {
+        ScenarioKind::Orientation
+    }
+    fn description(&self) -> &'static str {
+        "distributed stable orientation on a side×side torus (4-regular, seed ignored); size = side"
+    }
+    fn default_size(&self) -> u32 {
+        8
+    }
+    fn run(&self, size: u32, seed: u64, sim: &Simulator) -> ScenarioReport {
+        let side = (size as usize).max(3);
+        let g = td_graph::gen::classic::torus(side, side);
+        let t0 = Instant::now();
+        let res = td_orient::protocol::run_distributed(&g, sim);
+        res.orientation.verify_stable(&g).expect("stable output");
+        let wall = t0.elapsed();
+        let max_load = g
+            .nodes()
+            .map(|v| res.orientation.load(v))
+            .max()
+            .unwrap_or(0);
+        ScenarioReport::from_summary(
+            self.name(),
+            size,
+            seed,
+            g.num_nodes(),
+            g.num_edges(),
+            res.summary(),
+            wall,
+        )
+        .note("deterministic", "seed ignored")
+        .note("budget Θ(Δ⁴)", td_orient::protocol::total_rounds(4))
+        .note("max load", max_load)
+    }
+}
+
+/// The Θ(Δ⁴) distributed protocol on the `dim`-dimensional hypercube —
+/// exactly `dim`-regular, the classic symmetric interconnect topology.
+/// `size` = dimension.
+struct HypercubeOrientation;
+
+impl Scenario for HypercubeOrientation {
+    fn name(&self) -> &'static str {
+        "hypercube-orientation"
+    }
+    fn kind(&self) -> ScenarioKind {
+        ScenarioKind::Orientation
+    }
+    fn description(&self) -> &'static str {
+        "distributed stable orientation on the dim-dimensional hypercube (seed ignored); size = dim"
+    }
+    fn default_size(&self) -> u32 {
+        5
+    }
+    fn run(&self, size: u32, seed: u64, sim: &Simulator) -> ScenarioReport {
+        let dim = (size as usize).clamp(1, 10);
+        let g = td_graph::gen::classic::hypercube(dim);
+        let t0 = Instant::now();
+        let res = td_orient::protocol::run_distributed(&g, sim);
+        res.orientation.verify_stable(&g).expect("stable output");
+        let wall = t0.elapsed();
+        let max_load = g
+            .nodes()
+            .map(|v| res.orientation.load(v))
+            .max()
+            .unwrap_or(0);
+        ScenarioReport::from_summary(
+            self.name(),
+            size,
+            seed,
+            g.num_nodes(),
+            g.num_edges(),
+            res.summary(),
+            wall,
+        )
+        .note("deterministic", "seed ignored")
+        .note(
+            "budget Θ(Δ⁴)",
+            td_orient::protocol::total_rounds(dim as u32),
+        )
+        .note("max load", max_load)
+    }
+}
+
 // ----------------------------------------------------------- assignments ---
 
 /// Uniform random customers over servers, solved by the distributed stable
@@ -505,6 +598,64 @@ impl Scenario for ServerFarm {
     }
 }
 
+/// A clustered Zipf server farm (the `zipf-cluster` workload family): each
+/// customer cluster concentrates on its own hot server block, solved by the
+/// 2-bounded relaxed protocol (Theorem 7.5). `size` = number of servers.
+struct ClusteredFarm;
+
+impl Scenario for ClusteredFarm {
+    fn name(&self) -> &'static str {
+        "clustered-farm"
+    }
+    fn kind(&self) -> ScenarioKind {
+        ScenarioKind::Assignment
+    }
+    fn description(&self) -> &'static str {
+        "clustered Zipf server farm (multi-hotspot), 2-bounded protocol (Thm 7.5); size = #servers"
+    }
+    fn default_size(&self) -> u32 {
+        16
+    }
+    fn run(&self, size: u32, seed: u64, sim: &Simulator) -> ScenarioReport {
+        use rand::SeedableRng;
+        let ns = (size as usize).max(2);
+        let clusters = (ns / 4).max(1);
+        let nc = 3 * ns;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let g = td_graph::gen::random::clustered_zipf_bipartite(
+            nc,
+            ns,
+            clusters,
+            1..=3.min(ns),
+            1.2,
+            &mut rng,
+        );
+        let inst = td_assign::AssignmentInstance::from_bipartite_graph(&g, nc);
+        let t0 = Instant::now();
+        let res = td_assign::protocol::run_distributed_assignment(&inst, Some(2), sim);
+        res.assignment
+            .verify_k_bounded(&inst, 2)
+            .expect("2-bounded output");
+        let wall = t0.elapsed();
+        let naive = td_assign::Assignment::first_choice(&inst);
+        ScenarioReport::from_summary(
+            self.name(),
+            size,
+            seed,
+            inst.num_customers() + inst.num_servers(),
+            (0..inst.num_customers())
+                .map(|c| inst.servers_of(c).len())
+                .sum(),
+            res.summary(),
+            wall,
+        )
+        .note("clusters", clusters)
+        .note("cost Σ load²⁺", res.assignment.cost())
+        .note("naive first-choice cost", naive.cost())
+        .note("max load", res.assignment.max_load())
+    }
+}
+
 // -------------------------------------------------------------- registry ---
 
 static REGISTRY: &[&dyn Scenario] = &[
@@ -514,8 +665,11 @@ static REGISTRY: &[&dyn Scenario] = &[
     &RotorSweep,
     &RegularOrientation,
     &CascadeOrientation,
+    &TorusOrientation,
+    &HypercubeOrientation,
     &UniformAssignment,
     &ServerFarm,
+    &ClusteredFarm,
 ];
 
 /// Every registered scenario, games first, then orientations, assignments.

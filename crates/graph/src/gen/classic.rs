@@ -97,6 +97,27 @@ pub fn torus(rows: usize, cols: usize) -> CsrGraph {
     b.build().unwrap()
 }
 
+/// The `dim`-dimensional hypercube Q_dim: `2^dim` nodes, node `i` joined to
+/// `i ^ (1 << b)` for every bit `b < dim`. `dim`-regular with `dim · 2^(dim-1)`
+/// edges; `hypercube(0)` is a single node.
+///
+/// # Panics
+/// If `dim > 24` (guards against accidental exponential blowups).
+pub fn hypercube(dim: usize) -> CsrGraph {
+    assert!(dim <= 24, "hypercube dimension {dim} is too large");
+    let n = 1usize << dim;
+    let mut b = GraphBuilder::with_capacity(n, dim * n / 2);
+    for i in 0..n {
+        for bit in 0..dim {
+            let j = i ^ (1 << bit);
+            if i < j {
+                b.add_edge(NodeId::from(i), NodeId::from(j)).unwrap();
+            }
+        }
+    }
+    b.build().unwrap()
+}
+
 /// The Petersen graph: 3-regular, girth 5. A handy fixed high-girth regular
 /// instance for tests.
 pub fn petersen() -> CsrGraph {
@@ -186,6 +207,21 @@ mod tests {
         let t = torus(4, 5);
         assert!(t.nodes().all(|v| t.degree(v) == 4));
         assert_eq!(t.num_edges(), 2 * 20);
+    }
+
+    #[test]
+    fn hypercube_shape() {
+        for dim in 0..=5usize {
+            let g = hypercube(dim);
+            assert_eq!(g.num_nodes(), 1 << dim);
+            assert_eq!(g.num_edges(), dim << dim >> 1);
+            assert!(g.nodes().all(|v| g.degree(v) == dim), "dim {dim}");
+            g.validate().unwrap();
+        }
+        assert!(algo::is_connected(&hypercube(4)));
+        assert_eq!(algo::girth(&hypercube(3)), Some(4));
+        let b = crate::bipartite::bipartition(&hypercube(3)).unwrap();
+        assert!(b.verify(&hypercube(3)));
     }
 
     #[test]

@@ -1,11 +1,13 @@
 //! Deterministic graph generators for every workload family in the paper's
 //! experiments.
 //!
-//! * [`classic`] — paths, cycles, cliques, stars, grids, tori, the Petersen
-//!   graph; small named instances used in unit tests and figures.
+//! * [`classic`] — paths, cycles, cliques, stars, grids, tori, hypercubes,
+//!   the Petersen graph; small named instances used in unit tests and
+//!   figures.
 //! * [`random`] — Erdős–Rényi G(n,m) and G(n,p), random d-regular graphs
-//!   (configuration model), random and skewed bipartite customer/server
-//!   graphs.
+//!   (configuration model), Watts–Strogatz small worlds, Barabási–Albert
+//!   preferential attachment, and random / skewed / clustered-Zipf
+//!   bipartite customer/server graphs.
 //! * [`structured`] — perfect d-ary trees and high-girth (near-)regular
 //!   graphs for the Section 6 lower-bound constructions, and random layered
 //!   graphs for token-dropping games.

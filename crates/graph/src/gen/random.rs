@@ -152,6 +152,198 @@ pub fn random_regular(
     None
 }
 
+/// Watts–Strogatz small-world graph: a ring lattice on `n` nodes where every
+/// node is joined to its `k / 2` nearest neighbors on each side, with every
+/// lattice edge independently *rewired* with probability `p` (the original
+/// endpoint keeps the edge; the far endpoint is resampled uniformly among
+/// nodes that keep the graph simple). The edge count is exactly `n·k/2` for
+/// every seed — rewiring moves edges, it never adds or removes them.
+///
+/// # Panics
+/// If `k` is odd, `k >= n`, or `p` is not a probability.
+pub fn small_world(n: usize, k: usize, p: f64, rng: &mut impl Rng) -> CsrGraph {
+    assert!(
+        k.is_multiple_of(2),
+        "small-world lattice degree k must be even"
+    );
+    assert!(k < n, "lattice degree must be < n");
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let key = |u: u32, v: u32| (u.min(v), u.max(v));
+    // The current edge list, in deterministic (node, stride) lattice order;
+    // a rewire replaces an entry in place. The set mirrors the list for
+    // O(1) simplicity checks.
+    let mut list: Vec<(u32, u32)> = Vec::with_capacity(n * k / 2);
+    let mut edges: HashSet<(u32, u32)> = HashSet::with_capacity(n * k / 2);
+    for i in 0..n as u32 {
+        for s in 1..=(k / 2) as u32 {
+            let e = key(i, (i + s) % n as u32);
+            list.push(e);
+            edges.insert(e);
+        }
+    }
+    for (idx, slot) in list.iter_mut().enumerate() {
+        if !rng.gen_bool(p) {
+            continue;
+        }
+        // The origin endpoint of lattice edge `idx` keeps the edge.
+        let i = (idx / (k / 2)) as u32;
+        // Try a bounded number of uniform targets; keep the current edge if
+        // the node is saturated (dense k on tiny n).
+        for _ in 0..32 {
+            let t = rng.gen_range(0..n as u32);
+            let e = key(i, t);
+            if t != i && !edges.contains(&e) {
+                edges.remove(slot);
+                edges.insert(e);
+                *slot = e;
+                break;
+            }
+        }
+    }
+    let mut b = GraphBuilder::with_capacity(n, list.len());
+    for (u, v) in list {
+        b.add_edge(NodeId(u), NodeId(v)).unwrap();
+    }
+    b.build().unwrap()
+}
+
+/// Barabási–Albert preferential attachment: a complete seed graph on
+/// `m + 1` nodes, then each new node attaches to `m` distinct existing
+/// nodes chosen proportionally to their current degree. The edge count is
+/// exactly `m(m+1)/2 + (n - m - 1)·m` for every seed; early nodes become
+/// high-degree hubs (power-law tail).
+///
+/// # Panics
+/// If `m == 0` or `n < m + 1`.
+pub fn preferential_attachment(n: usize, m: usize, rng: &mut impl Rng) -> CsrGraph {
+    assert!(m >= 1, "attachment degree m must be >= 1");
+    assert!(n > m, "need at least m + 1 nodes");
+    let seed = m + 1;
+    let mut b = GraphBuilder::with_capacity(n, m * seed / 2 + (n - seed) * m);
+    // The classic "repeated endpoints" urn: sampling uniformly from the
+    // flat endpoint list is sampling nodes proportionally to degree.
+    let mut urn: Vec<u32> = Vec::with_capacity(2 * (m * seed / 2 + (n - seed) * m));
+    for i in 0..seed {
+        for j in (i + 1)..seed {
+            b.add_edge(NodeId::from(i), NodeId::from(j)).unwrap();
+            urn.push(i as u32);
+            urn.push(j as u32);
+        }
+    }
+    let mut picked: Vec<u32> = Vec::with_capacity(m);
+    for v in seed..n {
+        picked.clear();
+        while picked.len() < m {
+            let t = urn[rng.gen_range(0..urn.len())];
+            if !picked.contains(&t) {
+                picked.push(t);
+            }
+        }
+        for &t in &picked {
+            b.add_edge(NodeId::from(v), NodeId(t)).unwrap();
+            urn.push(v as u32);
+            urn.push(t);
+        }
+    }
+    b.build().unwrap()
+}
+
+/// Inverse-transform sampler over Zipf rank weights `1 / (r + 1)^alpha`,
+/// shared by [`skewed_bipartite`] and [`clustered_zipf_bipartite`]. One
+/// `draw` consumes exactly one `f64` from the rng.
+struct ZipfRanks {
+    cum: Vec<f64>,
+    total: f64,
+}
+
+impl ZipfRanks {
+    fn new(n: usize, alpha: f64) -> Self {
+        let mut cum = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for r in 0..n {
+            acc += 1.0 / ((r as f64) + 1.0).powf(alpha);
+            cum.push(acc);
+        }
+        ZipfRanks { cum, total: acc }
+    }
+
+    /// A rank in `0..n`, low ranks exponentially more likely.
+    fn draw(&self, rng: &mut impl Rng) -> usize {
+        let x: f64 = rng.gen::<f64>() * self.total;
+        match self.cum.binary_search_by(|c| c.partial_cmp(&x).unwrap()) {
+            Ok(i) => i,
+            Err(i) => i.min(self.cum.len() - 1),
+        }
+    }
+}
+
+/// Clustered Zipf bipartite workload: customers come in `clusters` groups,
+/// each anchored at its own "home" block of servers, and pick their
+/// candidate servers at Zipf-distributed rank offsets from the home block
+/// (exponent `alpha`). Models a fleet of cells whose traffic concentrates
+/// on per-cell hot servers — the multi-hotspot generalization of
+/// [`skewed_bipartite`]. Layout matches the other bipartite generators:
+/// nodes `0..customers` are customers, the rest servers; customer `c`
+/// belongs to cluster `c % clusters`.
+///
+/// # Panics
+/// If `clusters == 0`, the degree range is empty/zero, or `servers == 0`
+/// with customers present.
+pub fn clustered_zipf_bipartite(
+    customers: usize,
+    servers: usize,
+    clusters: usize,
+    degree_range: std::ops::RangeInclusive<usize>,
+    alpha: f64,
+    rng: &mut impl Rng,
+) -> CsrGraph {
+    assert!(clusters >= 1, "need at least one cluster");
+    assert!(servers > 0 || customers == 0, "customers need servers");
+    let lo = *degree_range.start();
+    let hi = *degree_range.end();
+    assert!(
+        lo <= hi && lo >= 1,
+        "degree range must be non-empty and >= 1"
+    );
+    let n = customers + servers;
+    let mut b = GraphBuilder::new(n);
+    if customers == 0 {
+        return b.build().unwrap();
+    }
+    // Zipf rank weights shared by every cluster; a customer's draw is the
+    // rank offset from its cluster's home block.
+    let ranks = ZipfRanks::new(servers, alpha);
+    for c in 0..customers {
+        let home = (c % clusters) * servers / clusters;
+        let want = rng.gen_range(lo..=hi).min(servers);
+        let mut picked: Vec<u32> = Vec::with_capacity(want);
+        let mut guard = 0usize;
+        while picked.len() < want {
+            let s = ((home + ranks.draw(rng)) % servers) as u32;
+            if !picked.contains(&s) {
+                picked.push(s);
+            }
+            guard += 1;
+            if guard > 64 * want + 1024 {
+                for r in 0..servers {
+                    if picked.len() >= want {
+                        break;
+                    }
+                    let s = ((home + r) % servers) as u32;
+                    if !picked.contains(&s) {
+                        picked.push(s);
+                    }
+                }
+            }
+        }
+        for s in picked {
+            b.add_edge(NodeId::from(c), NodeId(customers as u32 + s))
+                .unwrap();
+        }
+    }
+    b.build().unwrap()
+}
+
 /// Random bipartite customer/server graph.
 ///
 /// Nodes `0..customers` are customers, `customers..customers+servers` are
@@ -204,27 +396,13 @@ pub fn skewed_bipartite(
     let lo = *degree_range.start();
     let hi = *degree_range.end();
     assert!(lo <= hi && lo >= 1);
-    // Cumulative weights for inverse-transform sampling.
-    let mut cum: Vec<f64> = Vec::with_capacity(servers);
-    let mut acc = 0.0;
-    for s in 0..servers {
-        acc += 1.0 / ((s as f64) + 1.0).powf(alpha);
-        cum.push(acc);
-    }
-    let total = acc;
-    let sample_server = |rng: &mut dyn rand::RngCore| -> u32 {
-        let x: f64 = rand::Rng::gen::<f64>(rng) * total;
-        match cum.binary_search_by(|c| c.partial_cmp(&x).unwrap()) {
-            Ok(i) => i as u32,
-            Err(i) => i.min(servers - 1) as u32,
-        }
-    };
+    let ranks = ZipfRanks::new(servers, alpha);
     for c in 0..customers {
         let want = rng.gen_range(lo..=hi).min(servers);
         let mut picked = HashSet::with_capacity(want);
         let mut guard = 0usize;
         while picked.len() < want {
-            picked.insert(sample_server(rng));
+            picked.insert(ranks.draw(rng) as u32);
             guard += 1;
             if guard > 64 * want + 1024 {
                 // Extremely skewed + large degree: fill with the first free ids.
@@ -376,6 +554,86 @@ mod tests {
         assert!(
             deg0 > deg_last,
             "server 0 should be hotter: {deg0} vs {deg_last}"
+        );
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn small_world_preserves_edge_count() {
+        for seed in 0..8u64 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let g = small_world(40, 4, 0.2, &mut rng);
+            assert_eq!(g.num_nodes(), 40);
+            assert_eq!(g.num_edges(), 40 * 4 / 2, "seed {seed}");
+            g.validate().unwrap();
+        }
+        // p = 0 is exactly the ring lattice: 4-regular, deterministic.
+        let mut rng = SmallRng::seed_from_u64(1);
+        let lattice = small_world(20, 4, 0.0, &mut rng);
+        assert!(lattice.nodes().all(|v| lattice.degree(v) == 4));
+        let again = small_world(20, 4, 0.0, &mut SmallRng::seed_from_u64(9));
+        assert_eq!(lattice, again);
+    }
+
+    #[test]
+    fn small_world_rewiring_changes_lattice() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let lattice = small_world(60, 4, 0.0, &mut SmallRng::seed_from_u64(0));
+        let rewired = small_world(60, 4, 0.5, &mut rng);
+        assert_ne!(lattice, rewired, "p = 0.5 should move some edges");
+        assert_eq!(rewired.num_edges(), lattice.num_edges());
+    }
+
+    #[test]
+    fn preferential_attachment_shape() {
+        for seed in 0..6u64 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let (n, m) = (50, 2);
+            let g = preferential_attachment(n, m, &mut rng);
+            assert_eq!(g.num_nodes(), n);
+            assert_eq!(g.num_edges(), m * (m + 1) / 2 + (n - m - 1) * m);
+            assert!(algo::is_connected(&g), "BA graphs are connected");
+            g.validate().unwrap();
+            // Every non-seed node has degree >= m; some hub exceeds it.
+            assert!(g.nodes().all(|v| g.degree(v) >= m.min(2)));
+            assert!(g.max_degree() > m, "seed {seed}: no hub formed");
+        }
+        // Degenerate cases: m = 1 trees on small n.
+        let g = preferential_attachment(2, 1, &mut SmallRng::seed_from_u64(5));
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn preferential_attachment_hubs_are_early_nodes() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let g = preferential_attachment(400, 2, &mut rng);
+        let early: usize = (0..10).map(|v| g.degree(NodeId(v))).sum();
+        let late: usize = (390..400).map(|v| g.degree(NodeId(v))).sum();
+        assert!(early > 2 * late, "early {early} !>> late {late}");
+    }
+
+    #[test]
+    fn clustered_zipf_bipartite_structure() {
+        let mut rng = SmallRng::seed_from_u64(12);
+        let (customers, servers, clusters) = (120, 24, 4);
+        let g = clustered_zipf_bipartite(customers, servers, clusters, 1..=3, 1.2, &mut rng);
+        assert_eq!(g.num_nodes(), customers + servers);
+        let bp = bipartite::bipartition(&g).unwrap();
+        assert!(bp.verify(&g));
+        for c in 0..customers {
+            let d = g.degree(NodeId::from(c));
+            assert!((1..=3).contains(&d), "customer {c} degree {d}");
+            for &s in g.neighbors(NodeId::from(c)) {
+                assert!(s as usize >= customers, "customer edge to customer");
+            }
+        }
+        // Each cluster's home server is hotter than the coldest server.
+        let deg = |s: usize| g.degree(NodeId((customers + s) as u32));
+        let home_total: usize = (0..clusters).map(|g_| deg(g_ * servers / clusters)).sum();
+        let min_deg = (0..servers).map(deg).min().unwrap();
+        assert!(
+            home_total > clusters * min_deg,
+            "homes {home_total} vs coldest {min_deg}"
         );
         g.validate().unwrap();
     }

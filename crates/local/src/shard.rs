@@ -418,3 +418,124 @@ pub(crate) fn run_sharded<P: Protocol>(
         }),
     }
 }
+
+#[cfg(test)]
+mod tests {
+    use crate::protocol::{Inbox, NodeInit, Outbox, Protocol, RoundCtx, Status};
+    use crate::Simulator;
+    use td_graph::CsrGraph;
+
+    /// Node roles for the relay protocol below.
+    #[derive(Clone, Copy, PartialEq, Eq)]
+    enum Role {
+        /// Halts in round 0 without sending anything.
+        Mute,
+        /// Broadcasts its id in round 0, then halts — the send and the
+        /// quiesce land in the *same* round.
+        Source,
+        /// Waits; on the first round with any message, records every
+        /// `(round, port, payload)`, forwards its id everywhere, halts.
+        Relay,
+    }
+
+    struct RelayNode {
+        id: u32,
+        role: Role,
+        received: Vec<(u32, u32, u32)>,
+    }
+
+    impl Protocol for RelayNode {
+        type Input = Role;
+        type Message = u32;
+        type Output = Vec<(u32, u32, u32)>;
+
+        fn init(node: NodeInit<'_, Role>) -> Self {
+            RelayNode {
+                id: node.id.0,
+                role: *node.input,
+                received: Vec::new(),
+            }
+        }
+
+        fn round(
+            &mut self,
+            ctx: &RoundCtx,
+            inbox: &Inbox<'_, u32>,
+            outbox: &mut Outbox<'_, '_, u32>,
+        ) -> Status {
+            match self.role {
+                Role::Mute => Status::Halt,
+                Role::Source => {
+                    outbox.broadcast(self.id);
+                    Status::Halt
+                }
+                Role::Relay => {
+                    if inbox.is_empty() {
+                        return Status::Continue;
+                    }
+                    for (p, &msg) in inbox.iter() {
+                        self.received.push((ctx.round, p.idx() as u32, msg));
+                    }
+                    outbox.broadcast(self.id);
+                    Status::Halt
+                }
+            }
+        }
+
+        fn finish(self) -> Self::Output {
+            self.received
+        }
+    }
+
+    /// Regression: a boundary batch queued by a shard whose nodes *all*
+    /// halt in the sending round must still be flushed to the receiving
+    /// shard in that round's deliver phase. On the path 0-1-2-3 with two
+    /// BFS-grown shards {0,1} | {2,3}, node 0 (mute) and node 1 (source)
+    /// both quiesce in round 0 while node 1's send to node 2 crosses the
+    /// shard boundary; the relay wave must still reach node 3.
+    #[test]
+    fn boundary_batch_flushes_when_sending_shard_quiesces_mid_round() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let inputs = [Role::Mute, Role::Source, Role::Relay, Role::Relay];
+        let seq = Simulator::sequential().run::<RelayNode>(&g, &inputs);
+        // Node 2 hears node 1 in round 1, node 3 hears node 2 in round 2.
+        assert_eq!(seq.outputs[2], vec![(1, 0, 1)]);
+        assert_eq!(seq.outputs[3], vec![(2, 0, 2)]);
+        assert!(seq.completed);
+        for threads in [1, 2] {
+            let sh = Simulator::sharded(2, threads).run::<RelayNode>(&g, &inputs);
+            assert_eq!(sh.outputs, seq.outputs, "threads {threads}");
+            assert_eq!(sh.rounds, seq.rounds, "threads {threads}");
+            assert_eq!(sh.messages, seq.messages, "threads {threads}");
+            assert!(sh.completed);
+            let stats = sh.sharding.expect("sharded stats");
+            // Shard {0,1} is fully quiesced after round 0 and must skip
+            // its compute scan for the remaining rounds.
+            assert!(
+                stats.shard_rounds_skipped >= 2,
+                "threads {threads}: {stats:?}"
+            );
+        }
+    }
+
+    /// Regression: batches from *several* quiescing source shards
+    /// addressed to one receiver are drained in ascending src-shard order
+    /// by the receiver's owner; outputs (port-tagged payload multiset and
+    /// arrival round) must be bit-identical to the sequential executor.
+    #[test]
+    fn flush_ordering_across_multiple_quiescing_source_shards() {
+        // Star-ish path 0-1-2: three singleton shards; both endpoints are
+        // sources that halt in round 0, the middle node receives both
+        // boundary batches in round 1.
+        let g = CsrGraph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let inputs = [Role::Source, Role::Relay, Role::Source];
+        let seq = Simulator::sequential().run::<RelayNode>(&g, &inputs);
+        assert_eq!(seq.outputs[1], vec![(1, 0, 0), (1, 1, 2)]);
+        for (shards, threads) in [(3, 1), (3, 2), (3, 3), (2, 2)] {
+            let sh = Simulator::sharded(shards, threads).run::<RelayNode>(&g, &inputs);
+            assert_eq!(sh.outputs, seq.outputs, "{shards}x{threads}");
+            assert_eq!(sh.rounds, seq.rounds, "{shards}x{threads}");
+            assert_eq!(sh.messages, seq.messages, "{shards}x{threads}");
+        }
+    }
+}

@@ -101,7 +101,12 @@ fn bad_input_fails_cleanly() {
 fn churn_lists_scenarios() {
     let (out, _, ok) = run_td(&["churn"], None);
     assert!(ok);
-    for name in ["edge-flip", "flash-crowd", "rolling-restart"] {
+    for name in [
+        "edge-flip",
+        "flash-crowd",
+        "rolling-restart",
+        "small-world-flux",
+    ] {
         assert!(out.contains(name), "listing missing {name}:\n{out}");
     }
 }
@@ -210,6 +215,99 @@ fn bench_shards_flag_errors_exit_2() {
             err.contains("--shards") || err.contains("unknown flag"),
             "args {bad:?}: {err}"
         );
+    }
+}
+
+/// `--seed` goes through the one shared `RunFlags` parser, so `td bench`
+/// and `td churn` must reject garbage identically: exit 2 plus a message
+/// naming the flag.
+#[test]
+fn seed_parsing_is_uniform_across_bench_and_churn() {
+    for bad in [
+        vec!["bench", "rotor-sweep", "--seed", "garbage"],
+        vec!["bench", "rotor-sweep", "--seed", "1.5"],
+        vec!["bench", "rotor-sweep", "--seed", "-1"],
+        vec!["bench", "rotor-sweep", "--seed"],
+        vec!["churn", "edge-flip", "--seed", "garbage"],
+        vec!["churn", "edge-flip", "--seed", "1.5"],
+        vec!["churn", "edge-flip", "--seed", "-1"],
+        vec!["churn", "edge-flip", "--seed"],
+    ] {
+        let out = Command::new(BIN).args(&bad).output().unwrap();
+        assert_eq!(out.status.code(), Some(2), "args {bad:?}");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            err.contains("--seed needs an integer"),
+            "args {bad:?}: {err}"
+        );
+    }
+    // And valid seeds are accepted by both subcommands.
+    let (out, err, ok) = run_td(
+        &["bench", "rotor-sweep", "--size", "4", "--seed", "7"],
+        None,
+    );
+    assert!(ok, "{err}");
+    assert!(out.contains("seed = 7"), "{out}");
+    let (out, err, ok) = run_td(
+        &[
+            "churn",
+            "edge-flip",
+            "--size",
+            "24",
+            "--events",
+            "2",
+            "--seed",
+            "7",
+        ],
+        None,
+    );
+    assert!(ok, "{err}");
+    assert!(out.contains("seed = 7"), "{out}");
+}
+
+#[test]
+fn fuzz_lists_families_without_args() {
+    let (out, _, ok) = run_td(&["fuzz"], None);
+    assert!(ok);
+    for fam in ["small-world", "power-law", "zipf-cluster", "churn-orient"] {
+        assert!(out.contains(fam), "listing missing {fam}:\n{out}");
+    }
+}
+
+#[test]
+fn fuzz_replays_a_single_spec() {
+    let (out, err, ok) = run_td(&["fuzz", "--spec", "rotor:size=4:seed=1"], None);
+    assert!(ok, "{err}");
+    assert!(out.contains("ok   rotor:size=4:seed=1"), "{out}");
+    assert!(out.contains("1/1 specs clean"), "{out}");
+}
+
+#[test]
+fn fuzz_runs_a_tiny_budget() {
+    let (out, err, ok) = run_td(&["fuzz", "--budget", "2", "--seed", "3"], None);
+    assert!(ok, "{err}");
+    assert!(out.contains("2/2 specs clean"), "{out}");
+}
+
+#[test]
+fn fuzz_flag_errors_exit_2() {
+    for bad in [
+        vec!["fuzz", "--spec", "no-such-family:size=3"],
+        vec!["fuzz", "--spec", "rotor:bogus=1"],
+        vec!["fuzz", "--spec"],
+        vec!["fuzz", "--budget", "0"],
+        vec!["fuzz", "--budget", "x"],
+        vec!["fuzz", "--budget"],
+        vec!["fuzz", "--seed", "garbage"],
+        vec!["fuzz", "--bogus"],
+        // --spec replays one exact spec; combining it with the corpus
+        // flags would silently fake coverage, so it must be rejected.
+        vec!["fuzz", "--spec", "rotor:size=4:seed=1", "--seed", "9"],
+        vec!["fuzz", "--budget", "8", "--spec", "rotor:size=4:seed=1"],
+    ] {
+        let out = Command::new(BIN).args(&bad).output().unwrap();
+        assert_eq!(out.status.code(), Some(2), "args {bad:?}");
+        assert!(!out.stderr.is_empty(), "args {bad:?}: silent failure");
     }
 }
 

@@ -82,12 +82,20 @@ fn every_scenario_report_matches_its_golden_snapshot() {
             std::fs::write(&path, &actual).expect("write golden");
             continue;
         }
-        let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
-            panic!(
-                "missing golden snapshot {path:?} ({e}); \
-                 run UPDATE_GOLDEN=1 cargo test --test golden_reports"
-            )
-        });
+        // An absent snapshot (new scenario, fresh checkout of a pruned
+        // tree) is a first-class "bless me" failure, not a raw io error —
+        // and it joins `failures` so every missing scenario is listed in
+        // one run instead of aborting at the first.
+        let expected = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(_) => {
+                failures.push(format!(
+                    "{}: no golden at {path:?} — run UPDATE_GOLDEN=1 cargo test --test golden_reports",
+                    sc.name()
+                ));
+                continue;
+            }
+        };
         if expected != actual {
             failures.push(format!(
                 "{} drifted from {path:?} (-expected +actual):\n{}",
