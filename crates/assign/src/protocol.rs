@@ -448,6 +448,13 @@ pub struct DistributedAssignResult {
     pub comm_rounds: u32,
     /// Messages sent.
     pub messages: u64,
+    /// Sharded-executor statistics, when the run used
+    /// [`td_local::Executor::Sharded`].
+    pub sharding: Option<td_local::ShardExecStats>,
+    /// Low-level executor work counters (perf telemetry plane).
+    pub perf: td_local::ExecPerf,
+    /// Per-round statistics, when the simulator had tracing enabled.
+    pub trace: Option<Vec<td_local::RoundStats>>,
 }
 
 impl td_local::Summarize for DistributedAssignResult {
@@ -514,6 +521,9 @@ pub fn run_distributed_assignment(
         assignment,
         comm_rounds: outcome.rounds,
         messages: outcome.messages,
+        sharding: outcome.sharding,
+        perf: outcome.perf,
+        trace: outcome.trace,
     }
 }
 

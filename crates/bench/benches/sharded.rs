@@ -150,10 +150,52 @@ fn bench_quiesced_region(c: &mut Criterion) {
     group.finish();
 }
 
+/// The node-granular sparse-scheduling counterpart of `quiesced-region`:
+/// the hot nodes are *scattered* (every 64th node of the path keeps
+/// working), so no shard ever fully quiesces and the shard-granular skip
+/// is useless — only the per-shard active lists introduced with the sparse
+/// scheduler avoid scanning the 63/64 cold residents each round.
+fn bench_sparse_scattered(c: &mut Criterion) {
+    const N: usize = 160_000;
+    let g = path(N);
+    let inputs: Vec<bool> = (0..N).map(|v| v % 64 == 0).collect();
+    let t = host_threads();
+    let shards = 16;
+
+    // Sanity outside the timed loop: nothing quiesces at shard granularity,
+    // yet the sparse scheduler skips almost every cold node-round.
+    let seq = Simulator::sequential().run::<HotRegion>(&g, &inputs);
+    let sh = Simulator::sharded(shards, t).run::<HotRegion>(&g, &inputs);
+    assert_eq!(seq.outputs, sh.outputs);
+    assert_eq!(seq.rounds, sh.rounds);
+    let stats = sh.sharding.expect("sharded stats");
+    assert_eq!(
+        stats.shard_rounds_skipped, 0,
+        "scattered hot nodes keep every shard active: {stats:?}"
+    );
+    assert_eq!(sh.perf.halted_scans, 0);
+    assert_eq!(sh.perf.sparse_skips, seq.perf.halted_scans);
+    assert!(sh.perf.sparse_skips > 0);
+
+    let mut group = c.benchmark_group("sharded/sparse-scattered");
+    group.sample_size(10);
+    group.bench_function("sequential", |b| {
+        b.iter(|| Simulator::sequential().run::<HotRegion>(&g, &inputs))
+    });
+    group.bench_function("sharded-1x1", |b| {
+        b.iter(|| Simulator::sharded(1, 1).run::<HotRegion>(&g, &inputs))
+    });
+    group.bench_function(BenchmarkId::new(format!("sharded-x{t}t"), shards), |b| {
+        b.iter(|| Simulator::sharded(shards, t).run::<HotRegion>(&g, &inputs))
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_rotor_sweep,
     bench_server_farm,
-    bench_quiesced_region
+    bench_quiesced_region,
+    bench_sparse_scattered
 );
 criterion_main!(benches);

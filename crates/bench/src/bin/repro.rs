@@ -1,6 +1,6 @@
 //! `repro` — regenerates every experiment table in EXPERIMENTS.md.
 //!
-//! Usage: `cargo run --release -p td-bench --bin repro -- [e1|e2|...|e17|stress|scenarios|all]`
+//! Usage: `cargo run --release -p td-bench --bin repro -- [e1|e2|...|e18|stress|scenarios|all]`
 //!
 //! Each experiment prints a table of *measured* quantities (rounds, phases,
 //! ratios) next to the paper's bound, so the shape claims — who wins, by
@@ -80,6 +80,9 @@ fn main() {
     }
     if run("e17") {
         e17();
+    }
+    if run("e18") {
+        e18();
     }
 }
 
@@ -1195,4 +1198,93 @@ fn e17() {
     println!("(fixed-Δ families — torus, hypercube at fixed dim, rotor — hold rounds flat");
     println!(" while n grows: the Θ(Δ⁴) / O(L·Δ²) budgets are n-independent, so messages");
     println!(" grow like the instance itself. every row re-verified its output.)");
+}
+
+/// E18 — the node-granular sparse scheduler: wall-clock win on quiescing
+/// workloads, with the fitted active-fraction curve.
+fn e18() {
+    banner(
+        "E18",
+        "sparse scheduling: quiescing workloads skip cold regions at per-node resolution",
+    );
+    use td_bench::perf::{self, SweepConfig};
+    // The drain-wave (rolling-restart analogue: a fixed frontier works
+    // while the drained majority idles) and the rotor sweep (its tail
+    // quiesces level by level), each on the dense sequential executor vs
+    // sharded(1,1) — the sparse scheduler with parallelism and
+    // partitioning stripped away, so the delta is scheduling alone.
+    let mut t = Table::new(&[
+        "scenario",
+        "n",
+        "rounds",
+        "active%",
+        "halted scans (dense)",
+        "seq ms",
+        "sparse ms",
+        "speedup",
+    ]);
+    let mut curves = Table::new(&["scenario", "n", "active(round) ~ r^b", "tail active"]);
+    for name in ["drain-wave", "rotor"] {
+        let cfg = SweepConfig {
+            scenario: Some(name.into()),
+            ..SweepConfig::default()
+        };
+        let rep = perf::run_sweep(&cfg).expect("perf sweep runs clean");
+        let sizes: Vec<u32> = {
+            let mut s: Vec<u32> = rep.points.iter().map(|p| p.size).collect();
+            s.sort_unstable();
+            s.dedup();
+            s
+        };
+        for size in sizes {
+            let by = |ex: &str| {
+                rep.points
+                    .iter()
+                    .find(|p| p.size == size && p.executor == ex)
+                    .expect("grid point measured")
+            };
+            let seq = by("sequential");
+            let sparse = by("sharded(1,1)");
+            assert_eq!(seq.rounds, sparse.rounds, "bit-identical contract");
+            assert_eq!(seq.messages, sparse.messages, "bit-identical contract");
+            assert_eq!(seq.counters.halted_scans, sparse.counters.sparse_skips);
+            t.row(vec![
+                name.to_string(),
+                seq.nodes.to_string(),
+                seq.rounds.to_string(),
+                format!("{:.1}", 100.0 * seq.active_fraction()),
+                seq.counters.halted_scans.to_string(),
+                format!("{:.3}", seq.wall_ns as f64 / 1e6),
+                format!("{:.3}", sparse.wall_ns as f64 / 1e6),
+                format!("{:.2}x", seq.wall_ns as f64 / sparse.wall_ns as f64),
+            ]);
+            // Fit the active-fraction decay active(round) ~ a·round^b on
+            // the traced curve (rounds shifted by 1 for the log fit).
+            let xs: Vec<f64> = seq.curve.rounds.iter().map(|&r| (r + 1) as f64).collect();
+            let ys: Vec<f64> = seq.curve.active.iter().map(|&a| a as f64).collect();
+            let b = fit_power_law(&xs, &ys);
+            let tail = *seq.curve.active.last().unwrap_or(&0);
+            curves.row(vec![
+                name.to_string(),
+                seq.nodes.to_string(),
+                format!("b = {b:.2}"),
+                tail.to_string(),
+            ]);
+        }
+        if let Some(x) = rep.sparse_speedup(name) {
+            println!("{name}: sparse speedup at largest size = {x:.2}x");
+        }
+    }
+    println!();
+    t.print();
+    println!();
+    curves.print();
+    println!("(halted scans = node-rounds a dense scan wastes on quiesced residents; the");
+    println!(" sparse scheduler skips exactly those (sparse_skips == halted_scans, asserted");
+    println!(" above) while outputs/rounds/messages stay bit-identical. the drain wave");
+    println!(" collapses to its fixed frontier after round 0, so the dense scan wastes");
+    println!(" ~n per round and the speedup grows with n — >2x at 131k nodes, well past");
+    println!(" the 20% target. the rotor is the documented control: ~50% of its nodes");
+    println!(" stay active to the end, so scheduling alone roughly breaks even there.");
+    println!(" full counters land in BENCH_5.json via `td perf`.)");
 }

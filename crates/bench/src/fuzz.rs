@@ -106,6 +106,16 @@ pub fn corpus(count: usize, base_seed: u64) -> Vec<WorkloadSpec> {
 /// Runs the full differential + metamorphic check for one spec. `Err`
 /// carries a human-readable failure description (panics inside protocol or
 /// verifier code included); print [`repro_line`] next to it.
+///
+/// ```
+/// use td_bench::fuzz;
+/// use td_bench::spec::WorkloadSpec;
+///
+/// let spec = WorkloadSpec::parse("rotor:size=4:seed=1").unwrap();
+/// let rep = fuzz::check(&spec).expect("rotor at width 4 fuzzes clean");
+/// assert!(rep.compared >= 3); // executor/mode grid points vs the reference
+/// assert_eq!(fuzz::repro_line(&spec), "td fuzz --spec 'rotor:size=4:seed=1'");
+/// ```
 pub fn check(spec: &WorkloadSpec) -> Result<FuzzReport, String> {
     let spec = spec.clone();
     catch_unwind(AssertUnwindSafe(move || check_inner(&spec)))

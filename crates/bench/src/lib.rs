@@ -13,10 +13,12 @@ use td_graph::CsrGraph;
 
 pub mod churn;
 pub mod fuzz;
+pub mod perf;
 pub mod scenario;
 pub mod spec;
 
 pub use churn::{ChurnReport, ChurnScenario};
+pub use perf::{PerfPoint, PerfReport, SweepConfig};
 pub use scenario::{Scenario, ScenarioKind, ScenarioReport};
 pub use spec::{FamilyKind, WorkloadInstance, WorkloadSpec};
 

@@ -128,6 +128,18 @@ impl ScenarioReport {
 /// Implementations must verify their own output (stability, rules 1–3,
 /// k-boundedness, …) before reporting, so a scenario run doubles as an
 /// end-to-end correctness check.
+///
+/// ```
+/// use td_bench::scenario;
+/// use td_local::Simulator;
+///
+/// let sc = scenario::find("rotor-sweep").expect("registered");
+/// let rep = sc.run(4, 42, &Simulator::sequential()); // verifies internally
+/// assert_eq!(rep.scenario, "rotor-sweep");
+/// assert!(rep.rounds > 0);
+/// // The golden snapshot under tests/golden/ is exactly this rendering.
+/// assert!(rep.golden().starts_with("scenario: rotor-sweep\n"));
+/// ```
 pub trait Scenario: Sync {
     /// Registry name (`td bench <name>`).
     fn name(&self) -> &'static str;

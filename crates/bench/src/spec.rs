@@ -218,6 +218,21 @@ pub fn find_family(name: &str) -> Option<&'static FamilyInfo> {
 
 /// A fully parameterized, seeded workload: one generated instance,
 /// reproducible from its one-line string form alone.
+///
+/// ```
+/// use td_bench::spec::{WorkloadInstance, WorkloadSpec};
+///
+/// // Parsing fills omitted keys with the family defaults…
+/// let spec = WorkloadSpec::parse("torus:size=4:seed=7").unwrap();
+/// // …and Display always prints the full canonical form (round-trips).
+/// assert_eq!(WorkloadSpec::parse(&spec.to_string()).unwrap(), spec);
+///
+/// // `build` materializes the instance the string names.
+/// let WorkloadInstance::Orientation(g) = spec.build() else {
+///     panic!("torus is an orientation family")
+/// };
+/// assert_eq!(g.num_nodes(), 16); // 4 x 4, exactly 4-regular
+/// ```
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct WorkloadSpec {
     /// Canonical family name (a [`FAMILIES`] entry).

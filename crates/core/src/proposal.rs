@@ -332,6 +332,10 @@ pub struct ProtocolRunResult {
     /// Sharded-executor statistics, when the run used
     /// [`td_local::Executor::Sharded`].
     pub sharding: Option<td_local::ShardExecStats>,
+    /// Low-level executor work counters (perf telemetry plane).
+    pub perf: td_local::ExecPerf,
+    /// Per-round statistics, when the simulator had tracing enabled.
+    pub trace: Option<Vec<td_local::RoundStats>>,
 }
 
 impl td_local::Summarize for ProtocolRunResult {
@@ -371,6 +375,8 @@ pub fn run_on_simulator(game: &TokenGame, sim: &Simulator) -> ProtocolRunResult 
         comm_rounds: outcome.rounds,
         messages: outcome.messages,
         sharding: outcome.sharding,
+        perf: outcome.perf,
+        trace: outcome.trace,
     }
 }
 

@@ -48,6 +48,19 @@ pub struct Slot<M> {
 /// Allocated once (two buffers of `num_slots` slots each); reused across
 /// every round. `bufs[round % 2]` is the buffer *read* in `round` (written
 /// during `round - 1`).
+///
+/// ```
+/// use td_local::arena::MessageArena;
+/// use td_graph::gen::classic::path;
+///
+/// let g = path(4); // 3 edges -> 6 directed slots, one per (receiver, port)
+/// let arena: MessageArena<u64> = MessageArena::for_graph(&g);
+/// assert_eq!(arena.num_slots(), 6);
+/// // Advancing the round is the whole delivery step: `epoch` hands out the
+/// // read view of the previous round's writes and the write view of the
+/// // next round's — a parity flip, no data moves.
+/// let (_reader, _writer) = arena.epoch(0);
+/// ```
 pub struct MessageArena<M> {
     bufs: [DisjointSlots<Slot<M>>; 2],
 }

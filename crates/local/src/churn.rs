@@ -239,6 +239,55 @@ impl WakeSet {
 /// states, and message arena, and survives across repair runs: `Halt` means
 /// "quiesce until a message arrives", and the round counter is monotonic so
 /// the arena's stamps keep invalidating stale slots for free.
+///
+/// ```
+/// use td_local::{ChurnSim, Inbox, NodeInit, Outbox, Protocol, RoundCtx, Status};
+/// use td_graph::{gen::classic::path, NodeId};
+///
+/// /// Flood the maximum value; quiesce as soon as nothing improves.
+/// struct Max {
+///     best: u64,
+///     dirty: bool,
+/// }
+/// impl Protocol for Max {
+///     type Input = u64;
+///     type Message = u64;
+///     type Output = u64;
+///     fn init(n: NodeInit<'_, u64>) -> Self {
+///         Max { best: *n.input, dirty: false }
+///     }
+///     fn round(
+///         &mut self,
+///         _: &RoundCtx,
+///         inbox: &Inbox<'_, u64>,
+///         outbox: &mut Outbox<'_, '_, u64>,
+///     ) -> Status {
+///         for (_, &m) in inbox.iter() {
+///             if m > self.best {
+///                 self.best = m;
+///                 self.dirty = true;
+///             }
+///         }
+///         if self.dirty {
+///             self.dirty = false;
+///             outbox.broadcast(self.best);
+///         }
+///         Status::Halt // quiesce; a later message wakes this node
+///     }
+///     fn finish(self) -> u64 {
+///         self.best
+///     }
+/// }
+///
+/// let mut sim: ChurnSim<Max> = ChurnSim::new(path(5), &[7, 0, 0, 0, 0]);
+/// sim.state_mut(NodeId(0)).dirty = true; // the host applies an update…
+/// sim.wake(NodeId(0)); //                   …and wakes the dirtied node
+/// let stats = sim.run(1, 1_000);
+/// assert!(stats.completed);
+/// assert!(sim.states().iter().all(|s| s.best == 7));
+/// // Only the flood's wavefront was stepped — no dense n x rounds scan.
+/// assert!(stats.node_steps < (5 * stats.rounds) as u64);
+/// ```
 pub struct ChurnSim<P: Protocol> {
     graph: CsrGraph,
     states: Vec<P>,
@@ -439,6 +488,7 @@ impl<P: Protocol> ChurnSim<P> {
                     graph: &self.graph,
                     node,
                     sent: 0,
+                    boundary_sent: 0,
                     wake: Some(&self.wake),
                     route: Some(&route),
                 };
@@ -548,6 +598,7 @@ impl<P: Protocol> ChurnSim<P> {
                                 graph,
                                 node,
                                 sent: 0,
+                                boundary_sent: 0,
                                 wake: Some(wake),
                                 route: Some(&route),
                             };
@@ -657,6 +708,7 @@ impl<P: Protocol> ChurnSim<P> {
                     graph: &self.graph,
                     node,
                     sent: 0,
+                    boundary_sent: 0,
                     wake: Some(&self.wake),
                     route: None,
                 };
@@ -743,6 +795,7 @@ impl<P: Protocol> ChurnSim<P> {
                                 graph,
                                 node,
                                 sent: 0,
+                                boundary_sent: 0,
                                 wake: Some(wake),
                                 route: None,
                             };
@@ -1057,6 +1110,145 @@ mod tests {
             let b = sim.run_sharded(4, threads, 10_000);
             assert!(b.completed);
             assert_eq!(sim.states()[29].best, 9);
+        }
+    }
+
+    /// Marking a node twice before it is stepped enqueues it once; draining
+    /// resets the flag so a later mark re-enqueues — the invariant behind
+    /// "a node woken by its own `Continue` *and* an incoming message in the
+    /// same round is stepped exactly once".
+    #[test]
+    fn wakeset_re_mark_in_same_round_enqueues_once() {
+        let ws = WakeSet::new(5);
+        ws.mark(NodeId(2));
+        ws.mark(NodeId(2));
+        ws.mark(NodeId(4));
+        ws.mark(NodeId(2));
+        assert_eq!(ws.drain_sorted(), vec![2, 4]);
+        // Drained flags are cleared: the same node can be woken again.
+        ws.mark(NodeId(2));
+        assert_eq!(ws.drain_sorted(), vec![2]);
+        assert!(ws.drain_sorted().is_empty());
+    }
+
+    /// Both neighbors message each other *and* return `Continue` every
+    /// round: each node is doubly scheduled (self-continue + incoming
+    /// message) yet must be stepped exactly once per round, on the flat and
+    /// the sharded plane alike.
+    struct ChattyPair;
+
+    impl Protocol for ChattyPair {
+        type Input = ();
+        type Message = u8;
+        type Output = ();
+
+        fn init(_: NodeInit<'_, ()>) -> Self {
+            ChattyPair
+        }
+
+        fn round(
+            &mut self,
+            ctx: &RoundCtx,
+            _inbox: &Inbox<'_, u8>,
+            outbox: &mut Outbox<'_, '_, u8>,
+        ) -> Status {
+            if ctx.round < 3 {
+                outbox.broadcast(1);
+                Status::Continue
+            } else {
+                Status::Halt
+            }
+        }
+
+        fn finish(self) {}
+    }
+
+    #[test]
+    fn double_wake_continue_plus_message_steps_once() {
+        for (threads, shards) in [(1usize, 1usize), (2, 1), (1, 2), (2, 2)] {
+            let g = path(2);
+            let mut sim: ChurnSim<ChattyPair> = ChurnSim::new(g, &[(), ()]);
+            sim.wake(NodeId(0));
+            sim.wake(NodeId(1));
+            let stats = sim.run_sharded(shards, threads, 100);
+            assert!(stats.completed);
+            // Rounds 0..=2 send + continue, round 3 quiesces: 4 rounds,
+            // 2 nodes stepped once each per round despite the double wake.
+            assert_eq!(stats.rounds, 4, "threads {threads} shards {shards}");
+            assert_eq!(stats.node_steps, 8, "threads {threads} shards {shards}");
+            assert_eq!(stats.messages, 6, "threads {threads} shards {shards}");
+        }
+    }
+
+    /// A boundary message whose receiving shard is *fully* quiesced must
+    /// wake that shard: the flood starts in shard 0 and every other shard
+    /// of the plane is asleep until its first cross-shard delivery.
+    #[test]
+    fn boundary_message_wakes_fully_quiesced_shard() {
+        for threads in [1usize, 2] {
+            let g = path(16);
+            let mut inputs = vec![0u64; 16];
+            inputs[0] = 9;
+            let mut flat: ChurnSim<MaxHold> = ChurnSim::new(g.clone(), &inputs);
+            flat.state_mut(NodeId(0)).dirty = true;
+            flat.wake(NodeId(0));
+            let a = flat.run(1, 10_000);
+            let mut sh: ChurnSim<MaxHold> = ChurnSim::new(g, &inputs);
+            sh.state_mut(NodeId(0)).dirty = true;
+            sh.wake(NodeId(0));
+            // 4 BFS shards over a path = 4 contiguous blocks; shards 1-3
+            // start with every resident asleep.
+            let b = sh.run_sharded(4, threads, 10_000);
+            assert_eq!(a, b, "threads {threads}");
+            for v in 0..16 {
+                assert_eq!(sh.states()[v].best, 9, "node {v}");
+            }
+            // The wave touches each node a bounded number of times — far
+            // below the dense grid — so quiesced regions stayed cheap.
+            assert!(
+                b.node_steps < (16 * b.rounds) as u64,
+                "threads {threads}: steps {} not sparse",
+                b.node_steps
+            );
+        }
+    }
+
+    /// Round-cap resume when the cap lands *inside* a shard: the frontier
+    /// shard is partially woken (some residents already stepped, some still
+    /// asleep), and repeated 1-round slices must make monotonic progress to
+    /// the same final state as an uncapped run.
+    #[test]
+    fn round_cap_resume_with_partially_woken_shard() {
+        let g = path(16);
+        let mut inputs = vec![0u64; 16];
+        inputs[0] = 9;
+        let mut capped: ChurnSim<MaxHold> = ChurnSim::new(g.clone(), &inputs);
+        capped.state_mut(NodeId(0)).dirty = true;
+        capped.wake(NodeId(0));
+        // Cap after 2 rounds: the flood is at node 2 of shard 0 (nodes
+        // 0..=3), so shard 0 is partially woken and shards 1-3 untouched.
+        let first = capped.run_sharded(4, 1, 2);
+        assert!(!first.completed);
+        assert_eq!(first.rounds, 2);
+        let mut total = first;
+        let mut slices = 0;
+        while !total.completed {
+            let slice = capped.run_sharded(4, 1, 1);
+            assert!(slice.rounds <= 1);
+            total.absorb(slice);
+            total.completed = slice.completed;
+            slices += 1;
+            assert!(slices < 100, "resume failed to converge");
+        }
+        let mut free: ChurnSim<MaxHold> = ChurnSim::new(g, &inputs);
+        free.state_mut(NodeId(0)).dirty = true;
+        free.wake(NodeId(0));
+        let uncapped = free.run_sharded(4, 1, 10_000);
+        assert_eq!(total.rounds, uncapped.rounds);
+        assert_eq!(total.messages, uncapped.messages);
+        assert_eq!(total.node_steps, uncapped.node_steps);
+        for v in 0..16 {
+            assert_eq!(capped.states()[v].best, free.states()[v].best, "node {v}");
         }
     }
 

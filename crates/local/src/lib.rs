@@ -83,6 +83,6 @@ pub mod shard;
 pub mod sim;
 
 pub use churn::{ChurnError, ChurnEvent, ChurnSim, RepairMode, RepairStats, WakeSet};
-pub use metrics::{RoundStats, RunSummary, ShardExecStats, SimOutcome, Summarize};
+pub use metrics::{ExecPerf, RoundStats, RunSummary, ShardExecStats, SimOutcome, Summarize};
 pub use protocol::{Inbox, NodeInit, Outbox, Protocol, RoundCtx, Status};
 pub use sim::{Executor, Simulator};

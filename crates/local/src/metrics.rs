@@ -26,6 +26,48 @@ pub struct ShardExecStats {
     pub shard_rounds_skipped: u64,
 }
 
+/// Uniform low-level work counters, collected by **every** executor (the
+/// perf telemetry plane reads them; collection is a handful of integer adds
+/// per stepped node, so they are always on).
+///
+/// The sparse-scheduling story is told by two mirrored counters:
+/// [`ExecPerf::halted_scans`] is the price a dense scan pays for iterating
+/// past already-halted residents (sequential and strided-parallel
+/// executors), while [`ExecPerf::sparse_skips`] counts the halted
+/// node-rounds the sharded executor's node-granular active lists never
+/// touched at all. For the same run the identity is exact: `halted_scans`
+/// on the sequential executor equals `sparse_skips` on the sharded one
+/// (wholly skipped shards contribute their full resident count to
+/// `sparse_skips`), and a sharded run reports `halted_scans == 0`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExecPerf {
+    /// Protocol `round()` invocations (node-rounds actually stepped).
+    pub node_rounds: u64,
+    /// Halted residents a dense scan iterated past without stepping.
+    pub halted_scans: u64,
+    /// Halted node-rounds the sparse scheduler never visited.
+    pub sparse_skips: u64,
+    /// Messages delivered by a direct (same-arena) write.
+    pub local_messages: u64,
+    /// Messages routed through the batched cross-shard boundary queues.
+    pub boundary_messages: u64,
+    /// Arena inbox stamps exposed to stepped nodes (Σ degree over all
+    /// `round()` invocations) — the read-side scan work a protocol can pay.
+    pub stamp_scans: u64,
+}
+
+impl ExecPerf {
+    /// Accumulates another run's counters into `self`.
+    pub fn absorb(&mut self, other: ExecPerf) {
+        self.node_rounds += other.node_rounds;
+        self.halted_scans += other.halted_scans;
+        self.sparse_skips += other.sparse_skips;
+        self.local_messages += other.local_messages;
+        self.boundary_messages += other.boundary_messages;
+        self.stamp_scans += other.stamp_scans;
+    }
+}
+
 /// The result of simulating a protocol to completion (or to the round cap).
 #[derive(Clone, Debug)]
 pub struct SimOutcome<O> {
@@ -43,6 +85,8 @@ pub struct SimOutcome<O> {
     pub trace: Option<Vec<RoundStats>>,
     /// Sharded-executor statistics ([`crate::Executor::Sharded`] only).
     pub sharding: Option<ShardExecStats>,
+    /// Low-level work counters (collected by every executor).
+    pub perf: ExecPerf,
 }
 
 impl<O> SimOutcome<O> {

@@ -107,6 +107,8 @@ pub struct Outbox<'a, 'g, M> {
     pub(crate) graph: &'g CsrGraph,
     pub(crate) node: NodeId,
     pub(crate) sent: u64,
+    /// Of `sent`, how many crossed a shard boundary (batched delivery).
+    pub(crate) boundary_sent: u64,
     /// Wake side-channel of the churn executor: sending schedules the
     /// receiver for the delivery round. `None` under the one-shot
     /// [`crate::Simulator`].
@@ -132,7 +134,11 @@ impl<M: Clone> Outbox<'_, '_, M> {
             None => unsafe {
                 self.writer.write(mirror, msg);
             },
-            Some(route) => route.deliver(mirror, &self.writer, msg),
+            Some(route) => {
+                if route.deliver(mirror, &self.writer, msg) {
+                    self.boundary_sent += 1;
+                }
+            }
         }
         if let Some(wake) = self.wake {
             wake.mark(self.graph.neighbor_at(self.node, port));

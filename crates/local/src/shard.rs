@@ -39,7 +39,7 @@
 use crate::arena::{ArenaWriter, MessageArena};
 use crate::churn::WakeSet;
 use crate::disjoint::DisjointSlots;
-use crate::metrics::{RoundStats, ShardExecStats, SimOutcome};
+use crate::metrics::{ExecPerf, RoundStats, ShardExecStats, SimOutcome};
 use crate::protocol::{Inbox, Outbox, Protocol, RoundCtx, Status};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
@@ -166,9 +166,9 @@ impl<M> ShardRoute<'_, M> {
     /// Routes one message addressed to global slot `mirror`: shard-local
     /// receivers get a direct in-place arena write, remote receivers get a
     /// batch-queue append (flushed by the receiver's owner in the deliver
-    /// phase).
+    /// phase). Returns `true` iff the message crossed a shard boundary.
     #[inline]
-    pub(crate) fn deliver(&self, mirror: usize, own_writer: &ArenaWriter<'_, M>, msg: M) {
+    pub(crate) fn deliver(&self, mirror: usize, own_writer: &ArenaWriter<'_, M>, msg: M) -> bool {
         let dst = self.slot_shard[mirror];
         let local = self.slot_local[mirror];
         if dst == self.shard {
@@ -176,6 +176,7 @@ impl<M> ShardRoute<'_, M> {
             // the slot's unique sender is the node being stepped, on this
             // thread.
             unsafe { own_writer.write(local as usize, msg) };
+            false
         } else {
             self.traffic.mark(NodeId(dst));
             // SAFETY: row `self.shard` of the queue matrix belongs to the
@@ -186,6 +187,7 @@ impl<M> ShardRoute<'_, M> {
                     .get_mut(self.shard as usize * self.queues.shards + dst as usize)
                     .push((local, msg));
             }
+            true
         }
     }
 }
@@ -200,6 +202,21 @@ impl<M> ShardRoute<'_, M> {
 /// 2. **deliver** — workers flush the batch queues addressed to their
 ///    owned shards (only shards the traffic wake-sink marked), publishing
 ///    the boundary messages before the next round's reads.
+///
+/// ## Node-granular sparse scheduling
+///
+/// Within an *active* shard, the compute phase iterates a per-shard
+/// **active list** — the still-running nodes, kept in ascending id order
+/// and compacted in place the moment a node halts — instead of scanning
+/// every resident and testing a `halted` flag. A shard whose long tail has
+/// quiesced therefore pays `O(active)` per round, not `O(residents)`: the
+/// per-node extension of the shard-granular skip above. Because every
+/// non-halted node is stepped in every round either way, and nodes within
+/// a shard are still visited in ascending id order, outputs, round counts,
+/// and message counts are unchanged — the differential suite pins this.
+/// [`ExecPerf::sparse_skips`](crate::metrics::ExecPerf) counts the halted
+/// node-rounds the active lists never visited (a dense scan reports the
+/// same quantity as `halted_scans`).
 pub(crate) fn run_sharded<P: Protocol>(
     graph: &CsrGraph,
     mut states: Vec<P>,
@@ -224,6 +241,7 @@ pub(crate) fn run_sharded<P: Protocol>(
             completed: true,
             trace: want_trace.then(Vec::new),
             sharding: Some(stats0),
+            perf: ExecPerf::default(),
         };
     }
     if max_rounds == 0 {
@@ -236,6 +254,7 @@ pub(crate) fn run_sharded<P: Protocol>(
             completed: false,
             trace: want_trace.then(Vec::new),
             sharding: Some(stats0),
+            perf: ExecPerf::default(),
         };
     }
     let threads = threads.min(shards);
@@ -253,6 +272,7 @@ pub(crate) fn run_sharded<P: Protocol>(
     let round_messages = AtomicU64::new(0);
     let stepped_total = AtomicU64::new(0);
     let skipped_total = AtomicU64::new(0);
+    let perf_total: Mutex<ExecPerf> = Mutex::new(ExecPerf::default());
     let stop = AtomicBool::new(false);
     let completed = AtomicBool::new(false);
     let final_rounds = AtomicU32::new(0);
@@ -272,6 +292,7 @@ pub(crate) fn run_sharded<P: Protocol>(
             let round_messages = &round_messages;
             let stepped_total = &stepped_total;
             let skipped_total = &skipped_total;
+            let perf_total = &perf_total;
             let stop = &stop;
             let completed = &completed;
             let final_rounds = &final_rounds;
@@ -280,16 +301,22 @@ pub(crate) fn run_sharded<P: Protocol>(
             let states_ptr = &states_ptr;
             scope.spawn(move |_| {
                 let my_shards: Vec<usize> = (w..shards).step_by(threads).collect();
-                let mut halted: Vec<Vec<bool>> = my_shards
+                // Node-granular sparse scheduling: per owned shard, the ids
+                // of the still-running residents, in ascending order.
+                // Compacted in place as nodes halt, so a round's compute
+                // scan touches only active nodes — a halted tail costs
+                // nothing, long before its whole shard quiesces.
+                let mut active: Vec<Vec<u32>> = my_shards
                     .iter()
-                    .map(|&s| vec![false; part.nodes_of(s).len()])
+                    .map(|&s| part.nodes_of(s).to_vec())
                     .collect();
-                let mut remaining: Vec<usize> =
+                let residents: Vec<usize> =
                     my_shards.iter().map(|&s| part.nodes_of(s).len()).collect();
                 let mut round: u32 = 0;
                 let mut halted_before: usize = 0; // coordinator-only
-                                                  // Worker-local snapshot of the pending-traffic list, so the
-                                                  // deliver phase never holds the shared lock while flushing.
+                let mut perf = ExecPerf::default();
+                // Worker-local snapshot of the pending-traffic list, so the
+                // deliver phase never holds the shared lock while flushing.
                 let mut my_pending: Vec<u32> = Vec::new();
                 loop {
                     // ---- compute phase ---------------------------------
@@ -299,14 +326,16 @@ pub(crate) fn run_sharded<P: Protocol>(
                     let mut stepped: u64 = 0;
                     let mut skipped: u64 = 0;
                     for (k, &sh) in my_shards.iter().enumerate() {
-                        if remaining[k] == 0 {
+                        if active[k].is_empty() {
                             // Fully quiesced shard: skip the round outright.
-                            if !part.nodes_of(sh).is_empty() {
+                            if residents[k] > 0 {
                                 skipped += 1;
+                                perf.sparse_skips += residents[k] as u64;
                             }
                             continue;
                         }
                         stepped += 1;
+                        perf.sparse_skips += (residents[k] - active[k].len()) as u64;
                         let (reader, writer) = plane.arena(sh).epoch(round);
                         let route = ShardRoute {
                             shard: sh as u32,
@@ -315,10 +344,10 @@ pub(crate) fn run_sharded<P: Protocol>(
                             queues,
                             traffic,
                         };
-                        for (i, &v) in part.nodes_of(sh).iter().enumerate() {
-                            if halted[k][i] {
-                                continue;
-                            }
+                        let list = &mut active[k];
+                        let mut keep = 0usize;
+                        for i in 0..list.len() {
+                            let v = list[i];
                             let node = NodeId(v);
                             let inbox = Inbox {
                                 reader,
@@ -330,6 +359,7 @@ pub(crate) fn run_sharded<P: Protocol>(
                                 graph,
                                 node,
                                 sent: 0,
+                                boundary_sent: 0,
                                 wake: None,
                                 route: Some(&route),
                             };
@@ -338,12 +368,19 @@ pub(crate) fn run_sharded<P: Protocol>(
                             let state = unsafe { &mut *states_ptr.0.add(v as usize) };
                             let status = state.round(&ctx, &inbox, &mut outbox);
                             local_msgs += outbox.sent;
+                            perf.node_rounds += 1;
+                            perf.stamp_scans += graph.degree(node) as u64;
+                            perf.boundary_messages += outbox.boundary_sent;
+                            perf.local_messages += outbox.sent - outbox.boundary_sent;
                             if status == Status::Halt {
-                                halted[k][i] = true;
-                                remaining[k] -= 1;
                                 newly_halted += 1;
+                            } else {
+                                // Still running: retain in ascending order.
+                                list[keep] = v;
+                                keep += 1;
                             }
                         }
+                        list.truncate(keep);
                     }
                     messages.fetch_add(local_msgs, Ordering::Relaxed);
                     round_messages.fetch_add(local_msgs, Ordering::Relaxed);
@@ -377,6 +414,7 @@ pub(crate) fn run_sharded<P: Protocol>(
                     // (b) stop decision and pending-traffic list published.
                     barrier.wait();
                     if stop.load(Ordering::Relaxed) {
+                        perf_total.lock().absorb(perf);
                         break;
                     }
                     // ---- deliver phase ---------------------------------
@@ -416,6 +454,7 @@ pub(crate) fn run_sharded<P: Protocol>(
             shard_rounds_skipped: skipped_total.load(Ordering::Relaxed),
             ..stats0
         }),
+        perf: perf_total.into_inner(),
     }
 }
 

@@ -2,7 +2,7 @@
 //! identical semantics.
 
 use crate::arena::MessageArena;
-use crate::metrics::{RoundStats, SimOutcome};
+use crate::metrics::{ExecPerf, RoundStats, SimOutcome};
 use crate::protocol::{Inbox, NodeInit, Outbox, Protocol, RoundCtx, Status};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
@@ -62,9 +62,28 @@ impl Simulator {
     }
 
     /// A sharded simulator: `shards` locality-aware shards (BFS-grown
-    /// partition, per-shard arenas, batched boundary delivery) stepped by
-    /// `threads` workers. Outputs are bit-identical to
-    /// [`Simulator::sequential`] for every shard and thread count.
+    /// partition, per-shard arenas, batched boundary delivery, node-granular
+    /// sparse scheduling — see [`crate::shard`]) stepped by `threads`
+    /// workers. Outputs are bit-identical to [`Simulator::sequential`] for
+    /// every shard and thread count.
+    ///
+    /// ```
+    /// use td_local::{classics::BfsLayering, Simulator};
+    /// use td_graph::gen::classic::cycle;
+    ///
+    /// let g = cycle(24);
+    /// let mut sources = vec![false; 24];
+    /// sources[0] = true;
+    /// let seq = Simulator::sequential().run::<BfsLayering>(&g, &sources);
+    /// let sh = Simulator::sharded(4, 2).run::<BfsLayering>(&g, &sources);
+    /// // Sharding is a pure performance knob: same outputs, rounds, messages.
+    /// assert_eq!(sh.outputs, seq.outputs);
+    /// assert_eq!((sh.rounds, sh.messages), (seq.rounds, seq.messages));
+    /// // The sparse scheduler never scans a halted resident; the dense
+    /// // sequential baseline scanned exactly the node-rounds it skipped.
+    /// assert_eq!(sh.perf.halted_scans, 0);
+    /// assert_eq!(sh.perf.sparse_skips, seq.perf.halted_scans);
+    /// ```
     pub fn sharded(shards: usize, threads: usize) -> Self {
         assert!(shards >= 1 && threads >= 1);
         Simulator {
@@ -136,6 +155,7 @@ impl Simulator {
         let mut remaining = n;
         let mut round: u32 = 0;
         let mut messages: u64 = 0;
+        let mut perf = ExecPerf::default();
         let mut trace = self.trace.then(Vec::new);
         debug_assert!(self.max_rounds < u32::MAX - 1, "stamps reserve u32::MAX");
 
@@ -143,6 +163,11 @@ impl Simulator {
             let (reader, writer) = arena.epoch(round);
             let ctx = RoundCtx { round };
             let active = remaining;
+            // The reference executor is a dense scan on purpose (it is the
+            // baseline the sparse sharded scheduler is measured against):
+            // every resident is visited, halted ones are skipped by flag.
+            perf.halted_scans += (n - active) as u64;
+            perf.node_rounds += active as u64;
             let mut round_msgs: u64 = 0;
             for v in 0..n {
                 if halted[v] {
@@ -159,11 +184,13 @@ impl Simulator {
                     graph,
                     node,
                     sent: 0,
+                    boundary_sent: 0,
                     wake: None,
                     route: None,
                 };
                 let status = states[v].round(&ctx, &inbox, &mut outbox);
                 round_msgs += outbox.sent;
+                perf.stamp_scans += graph.degree(node) as u64;
                 if status == Status::Halt {
                     halted[v] = true;
                     remaining -= 1;
@@ -180,6 +207,7 @@ impl Simulator {
             round += 1;
         }
 
+        perf.local_messages = messages;
         SimOutcome {
             outputs: states.into_iter().map(P::finish).collect(),
             rounds: round,
@@ -187,6 +215,7 @@ impl Simulator {
             completed: remaining == 0,
             trace,
             sharding: None,
+            perf,
         }
     }
 
@@ -205,6 +234,7 @@ impl Simulator {
                 completed: true,
                 trace: self.trace.then(Vec::new),
                 sharding: None,
+                perf: ExecPerf::default(),
             };
         }
         if self.max_rounds == 0 {
@@ -218,6 +248,7 @@ impl Simulator {
                 completed: false,
                 trace: self.trace.then(Vec::new),
                 sharding: None,
+                perf: ExecPerf::default(),
             };
         }
         let threads = threads.min(n);
@@ -248,6 +279,7 @@ impl Simulator {
         let total_halted = AtomicUsize::new(0);
         let messages = AtomicU64::new(0);
         let round_messages = AtomicU64::new(0);
+        let perf_total: Mutex<ExecPerf> = Mutex::new(ExecPerf::default());
         let stop = AtomicBool::new(false);
         let completed = AtomicBool::new(false);
         let final_rounds = AtomicU32::new(0);
@@ -281,11 +313,13 @@ impl Simulator {
                 let stop = &stop;
                 let completed = &completed;
                 let final_rounds = &final_rounds;
+                let perf_total = &perf_total;
                 let trace = &trace;
                 scope.spawn(move |_| {
                     let mut halted = vec![false; chunk.len()];
                     let mut round: u32 = 0;
                     let mut halted_before: usize = 0; // coordinator-only
+                    let mut perf = ExecPerf::default();
                     loop {
                         let (reader, writer) = arena.epoch(round);
                         let ctx = RoundCtx { round };
@@ -293,6 +327,7 @@ impl Simulator {
                         let mut newly_halted: usize = 0;
                         for (i, state) in chunk.iter_mut().enumerate() {
                             if halted[i] {
+                                perf.halted_scans += 1;
                                 continue;
                             }
                             let node = NodeId::from(w + i * threads);
@@ -306,16 +341,20 @@ impl Simulator {
                                 graph,
                                 node,
                                 sent: 0,
+                                boundary_sent: 0,
                                 wake: None,
                                 route: None,
                             };
                             let status = state.round(&ctx, &inbox, &mut outbox);
                             local_msgs += outbox.sent;
+                            perf.node_rounds += 1;
+                            perf.stamp_scans += graph.degree(node) as u64;
                             if status == Status::Halt {
                                 halted[i] = true;
                                 newly_halted += 1;
                             }
                         }
+                        perf.local_messages += local_msgs;
                         messages.fetch_add(local_msgs, Ordering::Relaxed);
                         round_messages.fetch_add(local_msgs, Ordering::Relaxed);
                         total_halted.fetch_add(newly_halted, Ordering::Relaxed);
@@ -345,6 +384,7 @@ impl Simulator {
                         // (b) stop decision is published.
                         barrier.wait();
                         if stop.load(Ordering::Relaxed) {
+                            perf_total.lock().absorb(perf);
                             break;
                         }
                         round += 1;
@@ -370,6 +410,7 @@ impl Simulator {
             completed: completed.load(Ordering::Relaxed),
             trace: want_trace.then(|| trace.into_inner()),
             sharding: None,
+            perf: perf_total.into_inner(),
         }
     }
 }
@@ -709,6 +750,52 @@ mod tests {
         assert_eq!(stats.shard_rounds_stepped, 21 + 3);
         let seq = Simulator::sequential().run::<HalfQuiesce>(&g, &inputs);
         assert_eq!(seq.rounds, out.rounds);
+    }
+
+    /// The perf-counter contract behind the sparse scheduler: for the same
+    /// run, the dense executors' `halted_scans` (halted residents iterated
+    /// past) equals the sharded executor's `sparse_skips` (halted
+    /// node-rounds never visited), node-rounds and message routing always
+    /// reconcile, and the sparse executor never scans a halted node.
+    #[test]
+    fn sparse_scheduler_counters_mirror_dense_scan() {
+        let g = path(32);
+        let inputs: Vec<bool> = (0..32).map(|v| v < 8).collect();
+        let seq = Simulator::sequential().run::<HalfQuiesce>(&g, &inputs);
+        assert!(seq.perf.halted_scans > 0);
+        assert_eq!(seq.perf.local_messages, seq.messages);
+        assert_eq!(seq.perf.boundary_messages, 0);
+        let par = Simulator::parallel(3).run::<HalfQuiesce>(&g, &inputs);
+        assert_eq!(par.perf.halted_scans, seq.perf.halted_scans);
+        assert_eq!(par.perf.node_rounds, seq.perf.node_rounds);
+        for (shards, threads) in [(1usize, 1usize), (4, 2), (8, 3)] {
+            let sh = Simulator::sharded(shards, threads).run::<HalfQuiesce>(&g, &inputs);
+            assert_eq!(sh.rounds, seq.rounds, "{shards}x{threads}");
+            assert_eq!(sh.perf.halted_scans, 0, "{shards}x{threads}");
+            assert_eq!(
+                sh.perf.sparse_skips, seq.perf.halted_scans,
+                "{shards}x{threads}"
+            );
+            assert_eq!(
+                sh.perf.node_rounds, seq.perf.node_rounds,
+                "{shards}x{threads}"
+            );
+            assert_eq!(
+                sh.perf.local_messages + sh.perf.boundary_messages,
+                sh.messages,
+                "{shards}x{threads}"
+            );
+            assert_eq!(sh.perf.stamp_scans, seq.perf.stamp_scans);
+        }
+        // Cross-shard traffic shows up as boundary messages: on a path cut
+        // into singleton-ish shards, some sends must cross.
+        let g = path(4);
+        let out = Simulator::sharded(4, 2).run::<PortEcho>(&g, &[(); 4]);
+        assert!(out.perf.boundary_messages > 0);
+        assert_eq!(
+            out.perf.local_messages + out.perf.boundary_messages,
+            out.messages
+        );
     }
 
     #[test]

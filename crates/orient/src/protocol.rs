@@ -395,6 +395,13 @@ pub struct DistributedResult {
     pub comm_rounds: u32,
     /// Messages sent.
     pub messages: u64,
+    /// Sharded-executor statistics, when the run used
+    /// [`td_local::Executor::Sharded`].
+    pub sharding: Option<td_local::ShardExecStats>,
+    /// Low-level executor work counters (perf telemetry plane).
+    pub perf: td_local::ExecPerf,
+    /// Per-round statistics, when the simulator had tracing enabled.
+    pub trace: Option<Vec<td_local::RoundStats>>,
 }
 
 impl td_local::Summarize for DistributedResult {
@@ -435,6 +442,9 @@ pub fn run_distributed(g: &CsrGraph, sim: &Simulator) -> DistributedResult {
         orientation,
         comm_rounds: outcome.rounds,
         messages: outcome.messages,
+        sharding: outcome.sharding,
+        perf: outcome.perf,
+        trace: outcome.trace,
     }
 }
 

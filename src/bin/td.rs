@@ -17,7 +17,7 @@ use token_dropping::orient::protocol::run_distributed;
 use token_dropping::prelude::*;
 
 const USAGE: &str =
-    "usage: td <gen|info|orient|game|assign|bench|churn|fuzz> ... (td --help for details)";
+    "usage: td <gen|info|orient|game|assign|bench|churn|fuzz|perf> ... (td --help for details)";
 
 const HELP: &str = "\
 td — distributed token dropping, stable orientations, and semi-matchings
@@ -55,6 +55,17 @@ USAGE:
                                        fuzz-failures.spec
   td fuzz --spec <spec>                replay one spec, e.g.
                                        'small-world:size=32:seed=7'
+  td perf                              run the perf telemetry sweep
+                                       (scenario x executor x size) and
+                                       write the versioned BENCH_5.json
+  td perf --list                       list the perf scenarios
+  td perf [--scenario <name> [--sizes N,N,..]] [--seed S] [--threads T]
+          [--shards K] [--out FILE] [--quick]
+                                       restrict / reshape the sweep
+                                       (--sizes needs --scenario: size
+                                       units differ per scenario); --quick
+                                       runs the smallest size of each
+                                       ladder (the CI smoke)
   td --help | -h                       this text
 
 FILES:
@@ -108,6 +119,7 @@ fn run(args: &[String]) -> i32 {
         Some("bench") => cmd_bench(&args[1..]),
         Some("churn") => cmd_churn(&args[1..]),
         Some("fuzz") => cmd_fuzz(&args[1..]),
+        Some("perf") => cmd_perf(&args[1..]),
         Some(other) => {
             eprintln!("td: unknown subcommand '{other}'");
             eprintln!("{USAGE}");
@@ -466,6 +478,144 @@ fn cmd_fuzz(args: &[String]) -> i32 {
         eprintln!("failing specs written to fuzz-failures.spec");
     }
     1
+}
+
+fn cmd_perf(args: &[String]) -> i32 {
+    use td_bench::perf::{self, SweepConfig};
+    let mut cfg = SweepConfig::default();
+    let mut out_path = String::from("BENCH_5.json");
+    // Pre-scan the perf-specific flags; everything else goes through the
+    // shared RunFlags parser so --seed/--threads/--shards keep exactly the
+    // bench/churn validation semantics (exit 2 on 0/garbage).
+    let mut rest: Vec<String> = Vec::new();
+    // `--list` is honored only after the whole command line validates, so
+    // `td perf --threads 0 --list` still exits 2 like every other
+    // malformed invocation.
+    let mut want_list = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--list" => {
+                want_list = true;
+                i += 1;
+            }
+            "--quick" => {
+                cfg.quick = true;
+                i += 1;
+            }
+            "--scenario" => match args.get(i + 1) {
+                Some(name) => {
+                    cfg.scenario = Some(name.clone());
+                    i += 2;
+                }
+                None => {
+                    eprintln!("td perf: --scenario needs a name (see td perf --list)");
+                    return 2;
+                }
+            },
+            "--out" => match args.get(i + 1) {
+                Some(p) => {
+                    out_path = p.clone();
+                    i += 2;
+                }
+                None => {
+                    eprintln!("td perf: --out needs a file path");
+                    return 2;
+                }
+            },
+            "--sizes" => {
+                let parsed: Option<Vec<u32>> = args.get(i + 1).and_then(|raw| {
+                    raw.split(',')
+                        .map(|p| p.trim().parse::<u32>().ok().filter(|&v| v >= 1))
+                        .collect()
+                });
+                match parsed {
+                    Some(sizes) if !sizes.is_empty() => {
+                        cfg.sizes = Some(sizes);
+                        i += 2;
+                    }
+                    _ => {
+                        eprintln!("td perf: --sizes needs a comma-separated list of integers >= 1");
+                        return 2;
+                    }
+                }
+            }
+            // `--size` is the one-shot knob of bench/churn; perf sweeps a
+            // ladder, so steer the caller instead of silently accepting it.
+            "--size" => {
+                eprintln!(
+                    "td perf: unknown flag '--size' (perf sweeps a ladder: use --sizes N,N,..)"
+                );
+                return 2;
+            }
+            _ => {
+                rest.push(args[i].clone());
+                i += 1;
+            }
+        }
+    }
+    let mut flags = RunFlags::new(0, 0);
+    flags.threads = cfg.threads;
+    flags.shards = cfg.shards;
+    flags.seed = cfg.seed;
+    if let Err(code) = flags.parse("td perf", &rest, &["--shards"]) {
+        return code;
+    }
+    cfg.threads = flags.threads;
+    cfg.shards = flags.shards;
+    cfg.seed = flags.seed;
+    // `size` means different things per scenario (nodes, side, servers…):
+    // one list applied to every ladder would build absurd instances
+    // (a 131072×131072 torus). Overriding sizes requires naming the
+    // scenario the numbers are meant for.
+    if cfg.sizes.is_some() && cfg.scenario.is_none() {
+        eprintln!(
+            "td perf: --sizes overrides one scenario's ladder; pair it with \
+             --scenario <name> (size units differ per scenario)"
+        );
+        return 2;
+    }
+    if want_list {
+        println!("perf scenarios:\n");
+        print!("{}", perf::listing());
+        println!("\nrun the sweep with: td perf [--scenario <name> [--sizes N,N,..]]");
+        return 0;
+    }
+    let t0 = std::time::Instant::now();
+    let report = match perf::run_sweep(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("td perf: {e}");
+            // Unknown scenario names are usage errors; divergences and
+            // verifier failures are runtime failures.
+            return if e.contains("unknown perf scenario") {
+                2
+            } else {
+                1
+            };
+        }
+    };
+    print!("{}", perf::summary_table(&report));
+    for sc in perf::REGISTRY {
+        if let Some(x) = report.sparse_speedup(sc.name) {
+            println!(
+                "sparse speedup ({}, sharded(1,1) vs sequential): {x:.2}x",
+                sc.name
+            );
+        }
+    }
+    let json = perf::write_json(&report);
+    if let Err(e) = std::fs::write(&out_path, json) {
+        eprintln!("td perf: cannot write {out_path}: {e}");
+        return 1;
+    }
+    println!(
+        "\n{} points ({} schema) written to {out_path} in {:.2} s",
+        report.points.len(),
+        perf::SCHEMA,
+        t0.elapsed().as_secs_f64()
+    );
+    0
 }
 
 fn read_input(path: &str) -> String {

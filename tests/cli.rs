@@ -312,6 +312,109 @@ fn fuzz_flag_errors_exit_2() {
 }
 
 #[test]
+fn perf_lists_scenarios() {
+    let (out, _, ok) = run_td(&["perf", "--list"], None);
+    assert!(ok);
+    for name in ["drain-wave", "rotor", "torus", "churn-assign"] {
+        assert!(out.contains(name), "listing missing {name}:\n{out}");
+    }
+    // --list does not bypass validation: a malformed flag next to it must
+    // still exit 2, like every other subcommand.
+    for bad in [
+        vec!["perf", "--threads", "0", "--list"],
+        vec!["perf", "--list", "--bogus"],
+    ] {
+        let out = Command::new(BIN).args(&bad).output().unwrap();
+        assert_eq!(out.status.code(), Some(2), "args {bad:?}");
+    }
+}
+
+/// `--threads`/`--shards`/`--seed` go through the one shared `RunFlags`
+/// parser, so `td perf` must reject garbage exactly like bench/churn:
+/// exit 2 plus a message naming the flag.
+#[test]
+fn perf_flag_validation_is_uniform() {
+    for bad in [
+        vec!["perf", "--threads", "0"],
+        vec!["perf", "--threads", "garbage"],
+        vec!["perf", "--threads"],
+        vec!["perf", "--shards", "0"],
+        vec!["perf", "--shards", "x"],
+        vec!["perf", "--shards"],
+        vec!["perf", "--seed", "garbage"],
+        vec!["perf", "--seed", "-1"],
+        vec!["perf", "--seed"],
+        vec!["perf", "--sizes", "0"],
+        vec!["perf", "--sizes", "a,b"],
+        vec!["perf", "--sizes", ""],
+        vec!["perf", "--sizes"],
+        vec!["perf", "--scenario"],
+        vec!["perf", "--scenario", "no-such-scenario"],
+        // --sizes without --scenario would apply one size list to every
+        // ladder (size units differ per scenario) — rejected.
+        vec!["perf", "--sizes", "64"],
+        vec!["perf", "--out"],
+        vec!["perf", "--size", "4"],
+        vec!["perf", "--bogus"],
+    ] {
+        let out = Command::new(BIN).args(&bad).output().unwrap();
+        assert_eq!(out.status.code(), Some(2), "args {bad:?}");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(!err.is_empty(), "args {bad:?}: silent failure");
+        // The exact bench/churn wording for the shared numeric flags.
+        if bad.get(1) == Some(&"--threads") {
+            assert!(
+                err.contains("--threads needs an integer"),
+                "args {bad:?}: {err}"
+            );
+        }
+        if bad.get(1) == Some(&"--shards") {
+            assert!(
+                err.contains("--shards needs an integer"),
+                "args {bad:?}: {err}"
+            );
+        }
+        if bad.get(1) == Some(&"--seed") {
+            assert!(
+                err.contains("--seed needs an integer"),
+                "args {bad:?}: {err}"
+            );
+        }
+    }
+}
+
+#[test]
+fn perf_writes_versioned_json_report() {
+    let out_path = std::env::temp_dir().join(format!("td-perf-test-{}.json", std::process::id()));
+    let out_str = out_path.to_str().unwrap();
+    let (out, err, ok) = run_td(
+        &[
+            "perf",
+            "--scenario",
+            "drain-wave",
+            "--sizes",
+            "512",
+            "--threads",
+            "2",
+            "--shards",
+            "2",
+            "--out",
+            out_str,
+        ],
+        None,
+    );
+    assert!(ok, "{err}");
+    assert!(out.contains("drain-wave"), "{out}");
+    assert!(out.contains(out_str), "{out}");
+    let json = std::fs::read_to_string(&out_path).expect("report written");
+    std::fs::remove_file(&out_path).ok();
+    assert!(json.contains("\"schema\":\"td-perf/v1\""), "{json}");
+    assert!(json.contains("\"sparse_skips\""), "{json}");
+    assert!(json.contains("\"executor\":\"sharded(1,1)\""), "{json}");
+    assert!(json.contains("\"curve\""), "{json}");
+}
+
+#[test]
 fn churn_flag_errors_exit_2() {
     let out = Command::new(BIN)
         .args(["churn", "edge-flip", "--events"])
