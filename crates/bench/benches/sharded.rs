@@ -1,18 +1,18 @@
-//! Criterion bench for the sharded executor: strided-parallel vs sharded
-//! on the two locality-sensitive registry scenarios, plus a quiesced-region
-//! workload showing the skipped-shard-rounds win.
+//! Criterion bench for the pinned-worker sharded engine: the `parallel(T)`
+//! auto-shard alias vs explicit shard grids on the two locality-sensitive
+//! registry scenarios, plus a quiesced-region workload showing the
+//! skipped-shard-rounds win.
 //!
 //! * `rotor-sweep-n1e5` — the deterministic circulant sweep at width
 //!   20 000 (n = 120 000 ≥ 10⁵). The BFS-grown partition cuts level bands,
-//!   so almost all proposal traffic stays shard-local; the strided
-//!   executor scatters every level over every worker.
+//!   so almost all proposal traffic stays shard-local.
 //! * `server-farm` — the Zipf-skewed 2-bounded assignment scenario; the
 //!   bipartite customer/server network is the adversarial case for
 //!   locality (hot servers touch everything).
 //! * `quiesced-region` — 7/8 of a long path halts in round 0 while one
-//!   hot region keeps working for 240 rounds; quiesced shards skip their
-//!   rounds entirely, strided workers keep scanning. The demo assertion
-//!   checks `SimOutcome::sharding` actually reports skipped shard-rounds.
+//!   hot region keeps working for 240 rounds; quiesced shards retire and
+//!   skip their rounds entirely. The demo assertion checks
+//!   `SimOutcome::sharding` actually reports skipped shard-rounds.
 //!
 //! Outputs stay bit-identical across all executors (enforced separately by
 //! `tests/sharded_differential.rs`); this bench only compares wall clock.
@@ -38,7 +38,7 @@ fn bench_rotor_sweep(c: &mut Criterion) {
     group.bench_function("sequential", |b| {
         b.iter(|| sc.run(WIDTH, 42, &Simulator::sequential()))
     });
-    group.bench_function(BenchmarkId::new("strided-parallel", t), |b| {
+    group.bench_function(BenchmarkId::new("parallel", t), |b| {
         b.iter(|| sc.run(WIDTH, 42, &Simulator::parallel(t)))
     });
     for shards in [t, 4 * t] {
@@ -61,7 +61,7 @@ fn bench_server_farm(c: &mut Criterion) {
     group.bench_function("sequential", |b| {
         b.iter(|| sc.run(SIZE, 42, &Simulator::sequential()))
     });
-    group.bench_function(BenchmarkId::new("strided-parallel", t), |b| {
+    group.bench_function(BenchmarkId::new("parallel", t), |b| {
         b.iter(|| sc.run(SIZE, 42, &Simulator::parallel(t)))
     });
     group.bench_function(BenchmarkId::new(format!("sharded-x{t}t"), 2 * t), |b| {
@@ -141,7 +141,7 @@ fn bench_quiesced_region(c: &mut Criterion) {
     group.bench_function("sequential", |b| {
         b.iter(|| Simulator::sequential().run::<HotRegion>(&g, &inputs))
     });
-    group.bench_function(BenchmarkId::new("strided-parallel", t), |b| {
+    group.bench_function(BenchmarkId::new("parallel", t), |b| {
         b.iter(|| Simulator::parallel(t).run::<HotRegion>(&g, &inputs))
     });
     group.bench_function(BenchmarkId::new(format!("sharded-x{t}t"), shards), |b| {

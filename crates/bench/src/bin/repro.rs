@@ -783,7 +783,7 @@ fn e13() {
     let cores = std::thread::available_parallelism()
         .map(|c| c.get())
         .unwrap_or(1);
-    // A large flat game so per-round work dominates barrier overhead.
+    // A large flat game so per-round work dominates scheduling overhead.
     let mut rng = SmallRng::seed_from_u64(1234);
     let game = td_core::TokenGame::random(&[120_000, 120_000, 120_000, 120_000], 6, 0.5, &mut rng);
     println!(
@@ -1012,9 +1012,9 @@ fn e16() {
     let seq = proposal::run_on_simulator(&game, &Simulator::sequential());
     let seq_ms = t0.elapsed().as_secs_f64() * 1e3;
     let t0 = Instant::now();
-    let strided = proposal::run_on_simulator(&game, &Simulator::parallel(threads));
-    let strided_ms = t0.elapsed().as_secs_f64() * 1e3;
-    assert_eq!(strided.log, seq.log, "strided executor changed the output!");
+    let par = proposal::run_on_simulator(&game, &Simulator::parallel(threads));
+    let par_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(par.log, seq.log, "parallel executor changed the output!");
     let mut t = Table::new(&[
         "executor",
         "shards",
@@ -1024,7 +1024,7 @@ fn e16() {
         "messages",
         "skipped shard-rounds",
         "wall (ms)",
-        "vs strided",
+        "vs parallel",
     ]);
     t.row(vec![
         "sequential".into(),
@@ -1035,17 +1035,17 @@ fn e16() {
         seq.messages.to_string(),
         "-".into(),
         format!("{seq_ms:.1}"),
-        format!("{:.2}x", strided_ms / seq_ms),
+        format!("{:.2}x", par_ms / seq_ms),
     ]);
     t.row(vec![
         format!("parallel({threads})"),
         "-".into(),
         "-".into(),
         "-".into(),
-        strided.comm_rounds.to_string(),
-        strided.messages.to_string(),
+        par.comm_rounds.to_string(),
+        par.messages.to_string(),
         "-".into(),
-        format!("{strided_ms:.1}"),
+        format!("{par_ms:.1}"),
         "1.00x".into(),
     ]);
     for shards in [2usize, 4, 8, 16, 32] {
@@ -1065,7 +1065,7 @@ fn e16() {
             sh.messages.to_string(),
             stats.shard_rounds_skipped.to_string(),
             format!("{ms:.1}"),
-            format!("{:.2}x", strided_ms / ms),
+            format!("{:.2}x", par_ms / ms),
         ]);
     }
     t.print();
@@ -1095,7 +1095,7 @@ fn e16() {
         ]);
     }
     t.print();
-    println!("(per-round work there is tiny, so barrier + flush overhead dominates — shard");
+    println!("(per-round work there is tiny, so epoch + boundary overhead dominates — shard");
     println!(" when regions are big enough to amortize; see EXPERIMENTS.md)");
 }
 
@@ -1286,5 +1286,5 @@ fn e18() {
     println!(" ~n per round and the speedup grows with n — >2x at 131k nodes, well past");
     println!(" the 20% target. the rotor is the documented control: ~50% of its nodes");
     println!(" stay active to the end, so scheduling alone roughly breaks even there.");
-    println!(" full counters land in BENCH_5.json via `td perf`.)");
+    println!(" full counters land in BENCH_6.json via `td perf`.)");
 }

@@ -5,8 +5,9 @@
 //! 1. **verifier acceptance** — every output passes the family's verifier
 //!    (rules 1–3 + dynamics replay, orientation stability, assignment
 //!    stability / k-boundedness), after every churn event on live traces;
-//! 2. **executor differential** — sequential, strided-parallel, and sharded
-//!    executors (and, on churn traces, incremental repair vs full
+//! 2. **executor differential** — the sequential executor and the
+//!    pinned-worker sharded engine, both as `parallel(T)` and at explicit
+//!    shard grids (and, on churn traces, incremental repair vs full
 //!    recompute) must be *bit-identical*: same outputs, same rounds, same
 //!    message counts;
 //! 3. **metamorphic relabeling** — re-running on a seeded node relabeling

@@ -5,8 +5,10 @@
 //! EXPERIMENTS.md); this module turns them into data. One sweep —
 //! scenario × executor × size — runs representative workloads from the
 //! [`crate::spec`] families plus one synthetic quiescing showcase through
-//! the sequential, strided-parallel, and sharded executors (and the churn
-//! engines through their thread/shard grid), collecting for each point:
+//! the sequential executor and the pinned-worker sharded engine — both as
+//! `parallel(T)` (auto shard count) and at explicit shard grids — (and the
+//! churn engines through their thread/shard grid), collecting for each
+//! point:
 //!
 //! * the headline costs: rounds, messages, wall-clock (total and per
 //!   round);
@@ -20,7 +22,7 @@
 //!   active-fraction trajectory experiment E18 fits).
 //!
 //! [`write_json`] serializes the sweep as a versioned (`td-perf/v1`)
-//! report — the `td perf` subcommand writes it to `BENCH_5.json` so future
+//! report — the `td perf` subcommand writes it to `BENCH_6.json` so future
 //! PRs can append comparable trajectory points; every run also
 //! cross-checks rounds and messages across executors (a perf run that
 //! diverges is a bug, not a data point).
@@ -163,22 +165,39 @@ pub struct PerfReport {
 }
 
 impl PerfReport {
+    /// The largest-size point of `scenario` measured under `executor`.
+    fn best_point(&self, scenario: &str, executor: &str) -> Option<&PerfPoint> {
+        self.points
+            .iter()
+            .filter(|p| p.scenario == scenario && p.executor == executor)
+            .max_by_key(|p| p.size)
+    }
+
+    /// Wall-clock ratio of the `sequential` row over the `executor` row for
+    /// `scenario` at the largest measured size (both rows must exist at
+    /// that size). `> 1` means the executor beat sequential.
+    fn speedup_vs_sequential(&self, scenario: &str, executor: &str) -> Option<f64> {
+        let seq = self.best_point(scenario, "sequential")?;
+        let other = self.best_point(scenario, executor)?;
+        if other.size != seq.size || other.wall_ns == 0 {
+            return None;
+        }
+        Some(seq.wall_ns as f64 / other.wall_ns as f64)
+    }
+
     /// Wall-clock speedup of the sparse sharded executor (1 shard, 1
     /// thread — pure scheduling, no parallelism) over the dense sequential
     /// baseline for `scenario`, at the largest measured size.
     pub fn sparse_speedup(&self, scenario: &str) -> Option<f64> {
-        let best = |executor: &str| {
-            self.points
-                .iter()
-                .filter(|p| p.scenario == scenario && p.executor == executor)
-                .max_by_key(|p| p.size)
-        };
-        let seq = best("sequential")?;
-        let sparse = best("sharded(1,1)")?;
-        if sparse.size != seq.size || sparse.wall_ns == 0 {
-            return None;
-        }
-        Some(seq.wall_ns as f64 / sparse.wall_ns as f64)
+        self.speedup_vs_sequential(scenario, "sharded(1,1)")
+    }
+
+    /// Wall-clock speedup of the pinned-worker engine at the sweep's
+    /// thread count (`parallel(T)`) over the sequential baseline for
+    /// `scenario`, at the largest measured size — the seq-vs-parallel
+    /// column of the committed benchmark.
+    pub fn parallel_speedup(&self, scenario: &str) -> Option<f64> {
+        self.speedup_vs_sequential(scenario, &format!("parallel({})", self.threads))
     }
 }
 
@@ -379,8 +398,9 @@ pub fn run_sweep(cfg: &SweepConfig) -> Result<PerfReport, String> {
 }
 
 /// The executor grid every one-shot scenario is swept over: the dense
-/// sequential reference, the strided-parallel executor, the sharded
-/// executor at the configured grid point, and `sharded(1,1)` — the sparse
+/// sequential reference, the pinned-worker engine as `parallel(T)` (auto
+/// shard count — the seq-vs-parallel headline row), the engine at the
+/// configured explicit shard grid point, and `sharded(1,1)` — the sparse
 /// scheduler with parallelism and partitioning stripped away, so its row
 /// isolates the node-granular active-list win against `sequential`.
 /// Rows whose labels collide (e.g. `--shards 1 --threads 1` makes the
@@ -883,7 +903,7 @@ fn json_array_u64<I: IntoIterator<Item = u64>>(vals: I) -> String {
 pub fn write_json(report: &PerfReport) -> String {
     let mut s = String::new();
     s.push_str(&format!(
-        "{{\n\"schema\":\"{SCHEMA}\",\n\"bench\":5,\n\"threads\":{},\n\"shards\":{},\n\"seed\":{},\n\"points\":[\n",
+        "{{\n\"schema\":\"{SCHEMA}\",\n\"bench\":6,\n\"threads\":{},\n\"shards\":{},\n\"seed\":{},\n\"points\":[\n",
         report.threads, report.shards, report.seed
     ));
     for (i, p) in report.points.iter().enumerate() {
@@ -950,14 +970,15 @@ pub fn write_json(report: &PerfReport) -> String {
         });
     }
     s.push_str("],\n\"derived\":{");
-    let speedups: Vec<String> = REGISTRY
-        .iter()
-        .filter_map(|sc| {
-            report
-                .sparse_speedup(sc.name)
-                .map(|x| format!("\"sparse_speedup_{}\":{x:.3}", sc.name))
-        })
-        .collect();
+    let mut speedups: Vec<String> = Vec::new();
+    for sc in REGISTRY {
+        if let Some(x) = report.sparse_speedup(sc.name) {
+            speedups.push(format!("\"sparse_speedup_{}\":{x:.3}", sc.name));
+        }
+        if let Some(x) = report.parallel_speedup(sc.name) {
+            speedups.push(format!("\"parallel_speedup_{}\":{x:.3}", sc.name));
+        }
+    }
     s.push_str(&speedups.join(","));
     s.push_str("}\n}\n");
     s
@@ -1148,5 +1169,10 @@ mod tests {
         let s = rep.sparse_speedup("drain-wave").expect("both rows present");
         assert!(s > 0.0);
         assert!(rep.sparse_speedup("no-such").is_none());
+        let p = rep
+            .parallel_speedup("drain-wave")
+            .expect("parallel row present");
+        assert!(p > 0.0);
+        assert!(rep.parallel_speedup("no-such").is_none());
     }
 }

@@ -22,11 +22,17 @@
 //!
 //! ## Concurrency discipline
 //!
-//! The parallel executor relies on the structural one-writer-per-slot
-//! guarantee spelled out in [`crate::disjoint`]: within a round, the slot of
-//! `(receiver, port)` is written by exactly one node (the unique neighbor
-//! behind that port), every node is stepped by exactly one thread, and reads
-//! happen on the *other* buffer, separated by a barrier. The slot array is a
+//! The pinned-worker engine ([`crate::shard`]) gives every **worker** its
+//! own set of per-shard arenas, built inside the worker's thread and owned
+//! by it for the whole run: a shard's arena is only ever written by its
+//! owning worker (local sends and same-worker cross-shard sends write the
+//! sibling arena directly; cross-worker traffic arrives as batches over
+//! the SPSC boundary rings and is written into the arena by the consuming
+//! worker itself). The structural one-writer-per-slot guarantee spelled
+//! out in [`crate::disjoint`] still holds within a round — the slot of
+//! `(receiver, port)` is written by exactly one node — but cross-thread
+//! ordering now comes from the epoch protocol's acquire/release progress
+//! stamps rather than a global barrier. The slot array is a
 //! [`DisjointSlots`], so the unsafe surface stays in one module.
 
 use crate::disjoint::DisjointSlots;

@@ -40,7 +40,7 @@
 //! `tests/churn_differential.rs` enforce this across 1/2/4/8 threads.
 
 use crate::arena::MessageArena;
-use crate::protocol::{Inbox, NodeInit, Outbox, Protocol, RoundCtx, Status};
+use crate::protocol::{Inbox, NodeInit, Outbox, Protocol, RoundCtx, RouteRef, Status};
 use crate::shard::{BatchQueues, SendPtr, ShardPlane, ShardRoute};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
@@ -473,8 +473,8 @@ impl<P: Protocol> ChurnSim<P> {
                 let (reader, writer) = st.plane.arena(sh).epoch(self.round);
                 let route = ShardRoute {
                     shard: sh as u32,
-                    slot_shard: &st.plane.slot_shard,
-                    slot_local: &st.plane.slot_local,
+                    slot_shard: &st.plane.tables.slot_shard,
+                    slot_local: &st.plane.tables.slot_local,
                     queues: &st.queues,
                     traffic: &st.traffic,
                 };
@@ -490,7 +490,7 @@ impl<P: Protocol> ChurnSim<P> {
                     sent: 0,
                     boundary_sent: 0,
                     wake: Some(&self.wake),
-                    route: Some(&route),
+                    route: Some(RouteRef::Batched(&route)),
                 };
                 let status = self.states[v as usize].round(&ctx, &inbox, &mut outbox);
                 stats.messages += outbox.sent;
@@ -583,8 +583,8 @@ impl<P: Protocol> ChurnSim<P> {
                             let (reader, writer) = st.plane.arena(sh).epoch(round);
                             let route = ShardRoute {
                                 shard: sh as u32,
-                                slot_shard: &st.plane.slot_shard,
-                                slot_local: &st.plane.slot_local,
+                                slot_shard: &st.plane.tables.slot_shard,
+                                slot_local: &st.plane.tables.slot_local,
                                 queues: &st.queues,
                                 traffic: &st.traffic,
                             };
@@ -600,7 +600,7 @@ impl<P: Protocol> ChurnSim<P> {
                                 sent: 0,
                                 boundary_sent: 0,
                                 wake: Some(wake),
-                                route: Some(&route),
+                                route: Some(RouteRef::Batched(&route)),
                             };
                             // SAFETY: the shard partition gives each awake
                             // node to exactly one worker, so this &mut does

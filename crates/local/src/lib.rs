@@ -16,15 +16,17 @@
 //!   the local output).
 //! * [`Simulator`] — executes a protocol on a [`td_graph::CsrGraph`] until
 //!   all nodes halt (or a round cap is hit), counting rounds and messages.
-//! * Three executors with **bit-identical** semantics: a sequential one, a
-//!   strided multi-threaded one (crossbeam scoped threads over node
-//!   partitions; message delivery through the double-buffered flat
-//!   [`arena`], each slot written by exactly one thread — see
-//!   [`disjoint`]), and a locality-aware **sharded** one ([`shard`]:
-//!   BFS-grown shards with per-shard arenas, cross-shard traffic batched
-//!   per shard pair and flushed once per round, fully quiesced shards
-//!   skipping rounds). Round counts and outputs never depend on the
-//!   executor; tests enforce this.
+//! * Two executors with **bit-identical** semantics: a sequential dense
+//!   scan, and the **pinned-worker sharded engine** ([`shard`]): BFS-grown
+//!   shards owned long-term by pinned worker threads, per-shard
+//!   double-buffered arenas owned by their worker (see [`arena`] and
+//!   [`disjoint`]), cross-worker traffic batched per (src, dst) shard pair
+//!   through SPSC rings, and a round-stamped **epoch protocol** in place of
+//!   any global barrier — a shard advances to round `r + 1` as soon as its
+//!   *neighbors* have finished round `r`. Fully quiesced shards retire and
+//!   skip all remaining rounds. `Executor::Parallel` is an alias for this
+//!   engine with an automatic shard count. Round counts and outputs never
+//!   depend on the executor; tests enforce this.
 //! * A zero-allocation hot loop: the [`arena::MessageArena`] is allocated
 //!   once per run, payloads are overwritten in place, and round delivery is
 //!   a buffer-parity flip.
@@ -81,6 +83,7 @@ pub mod metrics;
 pub mod protocol;
 pub mod shard;
 pub mod sim;
+mod spsc;
 
 pub use churn::{ChurnError, ChurnEvent, ChurnSim, RepairMode, RepairStats, WakeSet};
 pub use metrics::{ExecPerf, RoundStats, RunSummary, ShardExecStats, SimOutcome, Summarize};

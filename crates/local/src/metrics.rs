@@ -12,8 +12,9 @@ pub struct RoundStats {
 }
 
 /// Statistics of one sharded-executor run: how the partition looked and
-/// how many shard-rounds the quiesced-shard skip saved. `None` on the
-/// sequential and strided-parallel executors.
+/// how many shard-rounds the quiesced-shard retirement saved. `None` on
+/// the sequential executor only — [`crate::Executor::Parallel`] is an
+/// alias for the pinned-worker sharded engine and reports these too.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ShardExecStats {
     /// Number of shards the run used.
@@ -31,14 +32,16 @@ pub struct ShardExecStats {
 /// per stepped node, so they are always on).
 ///
 /// The sparse-scheduling story is told by two mirrored counters:
-/// [`ExecPerf::halted_scans`] is the price a dense scan pays for iterating
-/// past already-halted residents (sequential and strided-parallel
-/// executors), while [`ExecPerf::sparse_skips`] counts the halted
-/// node-rounds the sharded executor's node-granular active lists never
-/// touched at all. For the same run the identity is exact: `halted_scans`
-/// on the sequential executor equals `sparse_skips` on the sharded one
-/// (wholly skipped shards contribute their full resident count to
-/// `sparse_skips`), and a sharded run reports `halted_scans == 0`.
+/// [`ExecPerf::halted_scans`] is the price the dense sequential scan pays
+/// for iterating past already-halted residents, while
+/// [`ExecPerf::sparse_skips`] counts the halted node-rounds the
+/// pinned-worker engine's node-granular active lists never touched at all.
+/// For the same run the identity is exact: `halted_scans` on the
+/// sequential executor equals `sparse_skips` on the engine (retired shards
+/// contribute their full resident count per skipped round), and an engine
+/// run reports `halted_scans == 0`. All engine counters are per-worker
+/// accumulators merged once at join, so they are deterministic across
+/// scheduling interleavings.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ExecPerf {
     /// Protocol `round()` invocations (node-rounds actually stepped).
@@ -83,7 +86,8 @@ pub struct SimOutcome<O> {
     pub completed: bool,
     /// Per-round statistics if tracing was enabled.
     pub trace: Option<Vec<RoundStats>>,
-    /// Sharded-executor statistics ([`crate::Executor::Sharded`] only).
+    /// Sharded-engine statistics ([`crate::Executor::Sharded`] and
+    /// [`crate::Executor::Parallel`]; `None` on the sequential executor).
     pub sharding: Option<ShardExecStats>,
     /// Low-level work counters (collected by every executor).
     pub perf: ExecPerf,

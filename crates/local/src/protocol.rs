@@ -2,8 +2,21 @@
 
 use crate::arena::{ArenaReader, ArenaWriter};
 use crate::churn::WakeSet;
-use crate::shard::ShardRoute;
+use crate::shard::{PinnedRoute, ShardRoute};
 use td_graph::{CsrGraph, NodeId, Port};
+
+/// The shard-routing view an [`Outbox`] carries, when any: the churn
+/// executor's barrier-phase batched route, or the pinned-worker engine's
+/// direct/staged route. `None` in the outbox means the unsharded executors
+/// (sequential, single-shard fast path): every send is a direct arena write.
+pub(crate) enum RouteRef<'a, M> {
+    /// Churn executor: cross-shard sends append to S×S batch queues,
+    /// flushed in a barrier-separated deliver phase.
+    Batched(&'a ShardRoute<'a, M>),
+    /// Pinned-worker engine: same-worker sends write arenas directly,
+    /// cross-worker sends stage for the SPSC boundary rings.
+    Pinned(&'a PinnedRoute<'a, M>),
+}
 
 /// Everything a node is allowed to see when it boots, matching the paper's
 /// Section 3: "initially, the only information that a node u has are the
@@ -114,12 +127,13 @@ pub struct Outbox<'a, 'g, M> {
     /// [`crate::Simulator`].
     pub(crate) wake: Option<&'a WakeSet>,
     /// Shard routing of the sharded executors: intra-shard sends write the
-    /// local arena directly, cross-shard sends are queued for the batched
-    /// boundary flush. `None` under the unsharded executors.
-    pub(crate) route: Option<&'a ShardRoute<'a, M>>,
+    /// local arena directly, cross-shard sends are batched (churn) or
+    /// staged for the SPSC boundary rings (pinned-worker engine). `None`
+    /// under the unsharded executors.
+    pub(crate) route: Option<RouteRef<'a, M>>,
 }
 
-impl<M: Clone> Outbox<'_, '_, M> {
+impl<M: Clone + Default + Send> Outbox<'_, '_, M> {
     /// Sends `msg` over `port`; it arrives at the neighbor next round.
     /// Sending twice on the same port in one round overwrites (one message
     /// per edge per round, as in the LOCAL model).
@@ -127,14 +141,19 @@ impl<M: Clone> Outbox<'_, '_, M> {
     pub fn send(&mut self, port: Port, msg: M) {
         let slot = self.graph.slot(self.node, port);
         let mirror = self.graph.mirror_slot(slot);
-        match self.route {
+        match &self.route {
             // SAFETY: slot `mirror` belongs to (neighbor, its port); the
             // only writer of that slot in this round is this node, which is
             // stepped by exactly one thread.
             None => unsafe {
                 self.writer.write(mirror, msg);
             },
-            Some(route) => {
+            Some(RouteRef::Batched(route)) => {
+                if route.deliver(mirror, &self.writer, msg) {
+                    self.boundary_sent += 1;
+                }
+            }
+            Some(RouteRef::Pinned(route)) => {
                 if route.deliver(mirror, &self.writer, msg) {
                     self.boundary_sent += 1;
                 }

@@ -1,60 +1,96 @@
-//! The sharded message plane: per-shard arenas, batched boundary delivery,
-//! and the locality-aware one-shot executor.
+//! The sharded message plane and the **pinned-worker, barrier-free**
+//! sharded executor.
 //!
-//! The strided parallel executor ([`crate::Executor::Parallel`]) spreads
-//! every node over every worker, so each round touches cache lines across
-//! the whole arena and a fully halted region still costs a scan. The
-//! sharded executor instead cuts the graph into locality-aware shards
-//! ([`td_graph::Partition::bfs_grown`]) and gives each shard:
+//! The retired strided executor spread every node over every worker and
+//! paid a global barrier per round; a fully halted region still cost a
+//! scan, and on round-dominated workloads the barriers cost more than the
+//! compute they fenced. The LOCAL model never needed any of that: a node
+//! stepping round `r + 1` must only have *its neighbors'* round-`r`
+//! messages — synchronization is a neighborhood property, not a global one.
+//! This module exploits exactly that:
 //!
-//! * **its own [`MessageArena`]** — a node's inbox row lives in the arena
-//!   of its *own* shard, so the inner compute loop of a shard reads and
-//!   writes only shard-local memory;
-//! * **batched boundary traffic** — a send whose receiver lives in another
-//!   shard is not written remotely; it is appended to the per-(src-shard,
-//!   dst-shard) batch queue and flushed once per round, by the *receiving*
-//!   shard's owner, in the deliver phase. Remote cache lines are touched
-//!   once per batch instead of once per message;
-//! * **an active-set guard** — a shard whose nodes have all halted skips
-//!   its compute scan entirely ([`crate::metrics::ShardExecStats`] counts
-//!   the skipped shard-rounds), and the deliver phase visits only shards
-//!   that actually received cross-shard traffic this round, tracked with
-//!   the churn plane's [`WakeSet`] wake-sink at shard granularity.
+//! * **Threads own shards long-term.** The graph is cut into locality-aware
+//!   shards ([`td_graph::Partition::bfs_grown`]); each of the `T` pinned
+//!   workers owns a fixed contiguous block of the BFS order for the whole
+//!   run. A node is stepped by one worker, forever — state, arena and
+//!   active list stay in one cache hierarchy.
+//! * **Per-shard arenas are owned by their worker.** Each shard's
+//!   double-buffered [`MessageArena`] is *moved into* its owner worker at
+//!   spawn; no other thread ever writes it. Cross-worker messages travel as
+//!   `(slot, payload)` batches and are written into the destination arena
+//!   by the *destination's own* worker.
+//! * **Per-(src,dst) SPSC boundary queues** ([`crate::spsc::BatchRing`]):
+//!   one ring per directed cross-worker shard pair with cut edges. A
+//!   shard's round-`r` boundary traffic toward one destination is one
+//!   batch — one `Vec` swap and one release store, never a per-message
+//!   atomic. Same-worker cross-shard sends skip the queues entirely and
+//!   write the sibling arena directly (same thread, provably no race).
+//! * **Round-stamped epoch protocol instead of barriers.** Shard `s`
+//!   publishes a `progress[s]` word: `r + 1` after finishing round `r`
+//!   (release store), or `RETIRED` once all residents halted. A worker may
+//!   advance a shard to round `r` as soon as every *neighboring* shard's
+//!   progress is `>= r` (acquire load) — all round-`r-1` batches are then
+//!   guaranteed delivered, because producers push before they publish.
+//!   Distant shards drift many rounds apart; neighbors stay within one
+//!   round of each other, which also bounds every ring to at most two live
+//!   batches ([`crate::spsc::RING_CAP`] proves the headroom).
+//! * **Termination detection without a coordinator.** `Halt` is final
+//!   under the one-shot simulator, so a shard whose active list empties can
+//!   never wake again: it publishes `RETIRED` (which passes every gate),
+//!   discards whatever its inbound rings still hold (those messages address
+//!   halted nodes — the sequential executor drops them too), and is done.
+//!   Producers observing a `RETIRED` destination drop the batch instead of
+//!   pushing. The run is over when every shard has retired or hit the round
+//!   cap — workers simply run out of work and join; no halt vote, no
+//!   drained-queue census, no final barrier.
+//!
+//! ## Node-granular sparse scheduling across the async frontier
+//!
+//! Within a shard the compute loop iterates a per-shard **active list** —
+//! the still-running residents in ascending id order, compacted in place as
+//! nodes halt — so a shard pays `O(active)` per round, not `O(residents)`.
+//! While *no* resident has halted yet the loop runs in a dense mode that
+//! iterates the partition's resident slice directly, with no list writes
+//! and no halted-flag loads at all (strictly less bookkeeping than the
+//! sequential executor's dense scan). Retirement is the shard-granular
+//! limit of the same idea: a quiesced shard costs zero rounds, and the
+//! rounds it never stepped are accounted into
+//! [`ExecPerf::sparse_skips`](crate::metrics::ExecPerf) after the join so
+//! the sequential mirror identity (`sparse_skips == halted_scans` of the
+//! dense scan) stays exact.
 //!
 //! ## Determinism
 //!
-//! The sharded executor is **bit-identical** to the sequential one — same
-//! outputs, same round counts, same message counts — for any shard or
-//! thread count. The argument is the same one-writer-per-slot discipline
-//! as the strided executor, plus one observation about the deliver phase:
-//! a slot of `(receiver, port)` has exactly one sender, so the only
-//! same-slot write ordering that matters (a node sending twice on one port
-//! in one round) happens inside a single `round` call and is preserved by
-//! the FIFO batch queue. Messages flushed in the deliver phase of round
-//! `r` carry stamp `r + 1` and land before the barrier that opens round
-//! `r + 1` — exactly when a direct write would have become visible.
-//! `tests/sharded_differential.rs` enforces the contract across every
-//! registry scenario and shard/thread grid.
+//! Outputs, round counts and message counts are **bit-identical** to the
+//! sequential executor for any shard or thread count; the epoch gate only
+//! delays work, it never reorders the one writer a slot has per round.
+//! Messages flushed from a ring carry the stamp of the round they were
+//! produced in and land in the very buffer a direct write would have hit.
+//! Per-worker counters are merged once at join, so `ExecPerf` aggregates
+//! are independent of scheduling too. `tests/sharded_differential.rs` and
+//! the interleaving proptest below enforce the contract.
 
 use crate::arena::{ArenaWriter, MessageArena};
-use crate::churn::WakeSet;
 use crate::disjoint::DisjointSlots;
 use crate::metrics::{ExecPerf, RoundStats, ShardExecStats, SimOutcome};
 use crate::protocol::{Inbox, Outbox, Protocol, RoundCtx, Status};
+use crate::spsc::BatchRing;
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Barrier;
+use std::sync::atomic::{AtomicU32, Ordering};
 use td_graph::{CsrGraph, NodeId, Partition};
+
+/// Progress value meaning "all residents halted; gate always passes".
+/// Round caps are asserted `< u32::MAX - 1`, so no live progress collides.
+const RETIRED: u32 = u32::MAX;
 
 /// A raw pointer that may cross thread boundaries; safety is argued at the
 /// use site (each node's state is stepped by exactly one worker).
 pub(crate) struct SendPtr<T>(pub(crate) *mut T);
 unsafe impl<T> Sync for SendPtr<T> {}
 
-/// The per-shard message arenas of one sharded simulation, plus the
-/// routing tables translating global CSR slots into (shard, local slot).
-pub(crate) struct ShardPlane<M> {
-    arenas: Vec<MessageArena<M>>,
+/// The slot-routing tables of a sharded plane: global CSR slot →
+/// (owning shard, slot within that shard's arena), and node → inbox base.
+pub(crate) struct ShardTables {
     /// Global slot -> shard of the slot's receiver.
     pub(crate) slot_shard: Vec<u32>,
     /// Global slot -> index within the owning shard's arena.
@@ -63,15 +99,15 @@ pub(crate) struct ShardPlane<M> {
     node_base: Vec<u32>,
 }
 
-impl<M: Default + Send> ShardPlane<M> {
-    /// Builds the plane for `graph` under `part`: one arena per shard,
-    /// sized to the shard's total degree, with each node's inbox row
-    /// contiguous inside its shard arena (nodes in ascending id order).
-    pub(crate) fn new(graph: &CsrGraph, part: &Partition) -> Self {
+impl ShardTables {
+    /// Builds the tables for `graph` under `part`, with each node's inbox
+    /// row contiguous inside its shard arena (nodes in ascending id order).
+    /// Returns the tables plus the per-shard arena sizes (total degree).
+    pub(crate) fn new(graph: &CsrGraph, part: &Partition) -> (Self, Vec<usize>) {
         let mut slot_shard = vec![0u32; graph.num_slots()];
         let mut slot_local = vec![0u32; graph.num_slots()];
         let mut node_base = vec![0u32; graph.num_nodes()];
-        let mut arenas = Vec::with_capacity(part.num_shards());
+        let mut sizes = Vec::with_capacity(part.num_shards());
         for sh in 0..part.num_shards() {
             let mut off = 0u32;
             for &v in part.nodes_of(sh) {
@@ -84,14 +120,43 @@ impl<M: Default + Send> ShardPlane<M> {
                 }
                 off += graph.degree(node) as u32;
             }
-            arenas.push(MessageArena::with_slots(off as usize));
+            sizes.push(off as usize);
         }
-        ShardPlane {
-            arenas,
-            slot_shard,
-            slot_local,
-            node_base,
-        }
+        (
+            ShardTables {
+                slot_shard,
+                slot_local,
+                node_base,
+            },
+            sizes,
+        )
+    }
+
+    /// The inbox base of node `v` inside its shard's arena.
+    #[inline(always)]
+    pub(crate) fn node_base(&self, v: NodeId) -> usize {
+        self.node_base[v.idx()] as usize
+    }
+}
+
+/// The per-shard message arenas plus routing tables, bundled for the churn
+/// executor (which keeps a cached plane across repair waves and flushes
+/// boundary traffic through [`BatchQueues`]). The one-shot pinned-worker
+/// engine does *not* use this bundle: it builds [`ShardTables`] and moves
+/// each arena into its owner worker instead.
+pub(crate) struct ShardPlane<M> {
+    arenas: Vec<MessageArena<M>>,
+    /// Slot-routing tables shared by every worker.
+    pub(crate) tables: ShardTables,
+}
+
+impl<M: Default + Send> ShardPlane<M> {
+    /// Builds the plane for `graph` under `part`: one arena per shard,
+    /// sized to the shard's total degree.
+    pub(crate) fn new(graph: &CsrGraph, part: &Partition) -> Self {
+        let (tables, sizes) = ShardTables::new(graph, part);
+        let arenas = sizes.into_iter().map(MessageArena::with_slots).collect();
+        ShardPlane { arenas, tables }
     }
 
     /// The arena of `shard`.
@@ -103,14 +168,15 @@ impl<M: Default + Send> ShardPlane<M> {
     /// The inbox base of node `v` inside its shard's arena.
     #[inline(always)]
     pub(crate) fn node_base(&self, v: NodeId) -> usize {
-        self.node_base[v.idx()] as usize
+        self.tables.node_base(v)
     }
 }
 
-/// The per-(src-shard, dst-shard) boundary batch queues: an S×S row-major
-/// matrix of append-only vectors of `(local slot, message)` pairs.
+/// The per-(src-shard, dst-shard) boundary batch queues of the **churn**
+/// executor: an S×S row-major matrix of append-only vectors of
+/// `(local slot, message)` pairs.
 ///
-/// Access discipline (barrier-separated, see [`run_sharded`]):
+/// Access discipline (barrier-separated, see [`crate::churn`]):
 /// * compute phase — row `src` is touched only by the worker stepping
 ///   shard `src` (a shard is stepped by exactly one worker, one shard at a
 ///   time);
@@ -146,7 +212,7 @@ impl<M: Send> BatchQueues<M> {
     }
 }
 
-/// The shard-routing view an [`Outbox`] holds under the sharded executors:
+/// The shard-routing view an [`Outbox`] holds under the **churn** executor:
 /// everything a send needs to decide "local write or boundary batch".
 pub(crate) struct ShardRoute<'a, M> {
     /// Shard being stepped (the sender's shard).
@@ -159,7 +225,7 @@ pub(crate) struct ShardRoute<'a, M> {
     pub(crate) queues: &'a BatchQueues<M>,
     /// Shard-granular wake sink: marks receiver shards that got boundary
     /// traffic this round, so the deliver phase visits only those.
-    pub(crate) traffic: &'a WakeSet,
+    pub(crate) traffic: &'a crate::churn::WakeSet,
 }
 
 impl<M> ShardRoute<'_, M> {
@@ -192,31 +258,128 @@ impl<M> ShardRoute<'_, M> {
     }
 }
 
-/// The sharded one-shot executor backing [`crate::Executor::Sharded`].
-///
-/// Each round runs in two barrier-separated phases:
-/// 1. **compute** — every worker steps its owned shards (shard `s` is
-///    owned by worker `s mod threads`), skipping fully quiesced ones;
-///    intra-shard sends write the shard arena directly, boundary sends are
-///    queued;
-/// 2. **deliver** — workers flush the batch queues addressed to their
-///    owned shards (only shards the traffic wake-sink marked), publishing
-///    the boundary messages before the next round's reads.
-///
-/// ## Node-granular sparse scheduling
-///
-/// Within an *active* shard, the compute phase iterates a per-shard
-/// **active list** — the still-running nodes, kept in ascending id order
-/// and compacted in place the moment a node halts — instead of scanning
-/// every resident and testing a `halted` flag. A shard whose long tail has
-/// quiesced therefore pays `O(active)` per round, not `O(residents)`: the
-/// per-node extension of the shard-granular skip above. Because every
-/// non-halted node is stepped in every round either way, and nodes within
-/// a shard are still visited in ascending id order, outputs, round counts,
-/// and message counts are unchanged — the differential suite pins this.
-/// [`ExecPerf::sparse_skips`](crate::metrics::ExecPerf) counts the halted
-/// node-rounds the active lists never visited (a dense scan reports the
-/// same quantity as `halted_scans`).
+/// Worker-local staging for outbound boundary batches: one vector per
+/// destination shard, filled during a shard's compute and swapped into the
+/// SPSC rings at publish time. Wrapped in [`DisjointSlots`] only to get
+/// interior mutability through the shared route reference; the whole
+/// structure lives and dies on one worker thread.
+pub(crate) struct Staging<M> {
+    cells: DisjointSlots<Vec<(u32, M)>>,
+}
+
+impl<M: Send> Staging<M> {
+    fn new(shards: usize) -> Self {
+        Staging {
+            cells: DisjointSlots::new_with(shards, |_| Vec::new()),
+        }
+    }
+
+    /// Appends one `(destination-local slot, payload)` pair for `dst`.
+    ///
+    /// # Safety
+    /// Single-thread discipline: only the owning worker touches its staging.
+    #[inline(always)]
+    unsafe fn push(&self, dst: usize, slot: u32, msg: M) {
+        self.cells.get_mut(dst).push((slot, msg));
+    }
+
+    /// Exclusive access to the staged batch for `dst` (publish/clear).
+    ///
+    /// # Safety
+    /// As for [`Staging::push`].
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn cell(&self, dst: usize) -> &mut Vec<(u32, M)> {
+        self.cells.get_mut(dst)
+    }
+}
+
+/// The routing view an [`Outbox`] holds under the pinned-worker engine.
+/// Three delivery classes, decided per send:
+/// * same shard → direct write through the outbox's own writer;
+/// * different shard, same worker → direct write into the sibling shard's
+///   arena at *this* shard's round parity (same thread, no race — the
+///   sibling is either about to read the other buffer or exactly these
+///   stamps);
+/// * different worker → staged for the SPSC boundary ring, counted as a
+///   boundary message.
+pub(crate) struct PinnedRoute<'a, M> {
+    /// Shard being stepped (the sender's shard).
+    pub(crate) shard: u32,
+    /// Round being computed (selects the arena parity for direct writes).
+    pub(crate) round: u32,
+    /// Slot-routing tables.
+    pub(crate) tables: &'a ShardTables,
+    /// Shard -> owning worker.
+    pub(crate) owner: &'a [u32],
+    /// The stepping worker's id.
+    pub(crate) my_worker: u32,
+    /// Shard -> index into its owner's arena set.
+    pub(crate) arena_of: &'a [u32],
+    /// The stepping worker's own arenas (one per owned shard).
+    pub(crate) my_arenas: &'a [MessageArena<M>],
+    /// The stepping worker's outbound staging.
+    pub(crate) staging: &'a Staging<M>,
+}
+
+impl<M: Default + Send> PinnedRoute<'_, M> {
+    /// Routes one message addressed to global slot `mirror`. Returns `true`
+    /// iff the message is bound for another worker (boundary-queue class);
+    /// the classification depends only on the static shard→worker map, so
+    /// the boundary/local counter split is deterministic.
+    #[inline]
+    pub(crate) fn deliver(&self, mirror: usize, own_writer: &ArenaWriter<'_, M>, msg: M) -> bool {
+        let dst = self.tables.slot_shard[mirror] as usize;
+        let local = self.tables.slot_local[mirror] as usize;
+        if dst as u32 == self.shard {
+            // SAFETY: the slot's unique sender is the node being stepped,
+            // on this thread; `own_writer` targets this shard's arena.
+            unsafe { own_writer.write(local, msg) };
+            return false;
+        }
+        if self.owner[dst] == self.my_worker {
+            // SAFETY: the sibling arena belongs to this worker; no other
+            // thread ever touches it, and on this thread no reference into
+            // it is live during a *different* shard's compute.
+            let (_, writer) = self.my_arenas[self.arena_of[dst] as usize].epoch(self.round);
+            unsafe { writer.write(local, msg) };
+            return false;
+        }
+        // SAFETY: staging is this worker's own.
+        unsafe { self.staging.push(dst, local as u32, msg) };
+        true
+    }
+}
+
+/// Per-shard bookkeeping a worker keeps for each shard it owns.
+struct Seat {
+    shard: usize,
+    /// Next round to compute.
+    round: u32,
+    /// `None` while no resident has halted (dense mode: iterate the
+    /// partition's resident slice directly); `Some` once the active list
+    /// materialized.
+    active: Option<Vec<u32>>,
+    /// Retired or hit the round cap.
+    done: bool,
+}
+
+/// What each worker contributes to the merged outcome, folded under one
+/// lock at join. Per-shard final rounds land in a shards-indexed table so
+/// the post-join skip accounting is scheduling-independent.
+struct Merged {
+    perf: ExecPerf,
+    messages: u64,
+    halted: usize,
+    stepped: u64,
+    /// Shard -> (rounds computed, residents).
+    finals: Vec<(u32, usize)>,
+    /// Round -> (messages, active nodes), summed across workers.
+    trace: Vec<(u64, u64)>,
+}
+
+/// The pinned-worker sharded executor backing both
+/// [`crate::Executor::Sharded`] and (with auto shard count)
+/// [`crate::Executor::Parallel`]. See the module docs for the protocol.
 pub(crate) fn run_sharded<P: Protocol>(
     graph: &CsrGraph,
     mut states: Vec<P>,
@@ -257,204 +420,496 @@ pub(crate) fn run_sharded<P: Protocol>(
             perf: ExecPerf::default(),
         };
     }
-    let threads = threads.min(shards);
-    let plane: ShardPlane<P::Message> = ShardPlane::new(graph, &part);
-    let queues: BatchQueues<P::Message> = BatchQueues::new(shards);
-    let traffic = WakeSet::new(shards);
     debug_assert!(max_rounds < u32::MAX - 1, "stamps reserve u32::MAX");
+    let threads = threads.min(shards);
+    if shards == 1 {
+        return run_single(graph, states, max_rounds, want_trace, stats0);
+    }
 
-    // Nodes are stepped through raw pointers: every node belongs to exactly
-    // one shard, every shard to exactly one worker, so the accesses are
-    // disjoint; barriers separate the rounds.
+    let (tables, sizes) = ShardTables::new(graph, &part);
+
+    // Contiguous shard→worker blocks over the BFS order: worker w owns
+    // shards [w·S/T, (w+1)·S/T). Adjacent shards are BFS-adjacent, so most
+    // shard neighbors share a worker — their gates resolve on-thread and
+    // their cross-shard traffic is a direct write, never a queue.
+    let mut owner = vec![0u32; shards];
+    for w in 0..threads {
+        for slot in &mut owner[(w * shards / threads)..((w + 1) * shards / threads)] {
+            *slot = w as u32;
+        }
+    }
+
+    // Shard adjacency (symmetric on an undirected graph — that symmetry is
+    // what bounds neighbor round skew to 1 and the rings to RING_CAP).
+    let smap = part.shard_map();
+    let mut nbrs: Vec<Vec<u32>> = vec![Vec::new(); shards];
+    for v in graph.nodes() {
+        let s = smap[v.idx()] as usize;
+        for &u in graph.neighbors(v) {
+            let p = smap[u as usize];
+            if p as usize != s {
+                nbrs[s].push(p);
+            }
+        }
+    }
+    for l in &mut nbrs {
+        l.sort_unstable();
+        l.dedup();
+    }
+
+    // One SPSC ring per directed cross-worker shard pair with cut edges.
+    let mut rings: Vec<BatchRing<P::Message>> = Vec::new();
+    let mut inbound: Vec<Vec<(u32, usize)>> = vec![Vec::new(); shards]; // dst -> [(src, ring)]
+    let mut outbound: Vec<Vec<(u32, usize)>> = vec![Vec::new(); shards]; // src -> [(dst, ring)]
+    for s in 0..shards {
+        for &p in &nbrs[s] {
+            if owner[s] != owner[p as usize] {
+                let idx = rings.len();
+                rings.push(BatchRing::new());
+                outbound[s].push((p, idx));
+                inbound[p as usize].push((s as u32, idx));
+            }
+        }
+    }
+
+    // Per-shard arenas, distributed to their owner workers by value.
+    let mut arena_of = vec![u32::MAX; shards];
+    let mut arena_sets: Vec<Vec<MessageArena<P::Message>>> =
+        (0..threads).map(|_| Vec::new()).collect();
+    for (s, size) in sizes.into_iter().enumerate() {
+        let w = owner[s] as usize;
+        arena_of[s] = arena_sets[w].len() as u32;
+        arena_sets[w].push(MessageArena::with_slots(size));
+    }
+
+    let progress: Vec<AtomicU32> = (0..shards).map(|_| AtomicU32::new(0)).collect();
     let states_ptr = SendPtr(states.as_mut_ptr());
-    let total_halted = AtomicUsize::new(0);
-    let messages = AtomicU64::new(0);
-    let round_messages = AtomicU64::new(0);
-    let stepped_total = AtomicU64::new(0);
-    let skipped_total = AtomicU64::new(0);
-    let perf_total: Mutex<ExecPerf> = Mutex::new(ExecPerf::default());
-    let stop = AtomicBool::new(false);
-    let completed = AtomicBool::new(false);
-    let final_rounds = AtomicU32::new(0);
-    let pending: Mutex<Vec<u32>> = Mutex::new(Vec::new());
-    let barrier = Barrier::new(threads);
-    let trace: Mutex<Vec<RoundStats>> = Mutex::new(Vec::new());
+    let merged: Mutex<Merged> = Mutex::new(Merged {
+        perf: ExecPerf::default(),
+        messages: 0,
+        halted: 0,
+        stepped: 0,
+        finals: vec![(0, 0); shards],
+        trace: Vec::new(),
+    });
 
     crossbeam::thread::scope(|scope| {
-        for w in 0..threads {
+        for (w, my_arenas) in arena_sets.drain(..).enumerate() {
             let part = &part;
-            let plane = &plane;
-            let queues = &queues;
-            let traffic = &traffic;
-            let barrier = &barrier;
-            let total_halted = &total_halted;
-            let messages = &messages;
-            let round_messages = &round_messages;
-            let stepped_total = &stepped_total;
-            let skipped_total = &skipped_total;
-            let perf_total = &perf_total;
-            let stop = &stop;
-            let completed = &completed;
-            let final_rounds = &final_rounds;
-            let pending = &pending;
-            let trace = &trace;
+            let tables = &tables;
+            let owner = &owner[..];
+            let arena_of = &arena_of[..];
+            let nbrs = &nbrs;
+            let rings = &rings;
+            let inbound = &inbound;
+            let outbound = &outbound;
+            let progress = &progress[..];
+            let merged = &merged;
             let states_ptr = &states_ptr;
             scope.spawn(move |_| {
-                let my_shards: Vec<usize> = (w..shards).step_by(threads).collect();
-                // Node-granular sparse scheduling: per owned shard, the ids
-                // of the still-running residents, in ascending order.
-                // Compacted in place as nodes halt, so a round's compute
-                // scan touches only active nodes — a halted tail costs
-                // nothing, long before its whole shard quiesces.
-                let mut active: Vec<Vec<u32>> = my_shards
-                    .iter()
-                    .map(|&s| part.nodes_of(s).to_vec())
+                let my_arenas = my_arenas; // owned by this worker for the run
+                let staging: Staging<P::Message> = Staging::new(shards);
+                let mut seats: Vec<Seat> = (0..shards)
+                    .filter(|&s| owner[s] == w as u32)
+                    .map(|s| Seat {
+                        shard: s,
+                        round: 0,
+                        active: None,
+                        done: false,
+                    })
                     .collect();
-                let residents: Vec<usize> =
-                    my_shards.iter().map(|&s| part.nodes_of(s).len()).collect();
-                let mut round: u32 = 0;
-                let mut halted_before: usize = 0; // coordinator-only
+                let mut remaining = seats.len();
                 let mut perf = ExecPerf::default();
-                // Worker-local snapshot of the pending-traffic list, so the
-                // deliver phase never holds the shared lock while flushing.
-                let mut my_pending: Vec<u32> = Vec::new();
-                loop {
-                    // ---- compute phase ---------------------------------
-                    let ctx = RoundCtx { round };
-                    let mut local_msgs: u64 = 0;
-                    let mut newly_halted: usize = 0;
-                    let mut stepped: u64 = 0;
-                    let mut skipped: u64 = 0;
-                    for (k, &sh) in my_shards.iter().enumerate() {
-                        if active[k].is_empty() {
-                            // Fully quiesced shard: skip the round outright.
-                            if residents[k] > 0 {
-                                skipped += 1;
-                                perf.sparse_skips += residents[k] as u64;
-                            }
+                let mut messages: u64 = 0;
+                let mut halted: usize = 0;
+                let mut stepped: u64 = 0;
+                let mut trace_acc: Vec<(u64, u64)> = Vec::new();
+
+                while remaining > 0 {
+                    let mut progressed = false;
+                    for seat in seats.iter_mut() {
+                        if seat.done {
                             continue;
                         }
-                        stepped += 1;
-                        perf.sparse_skips += (residents[k] - active[k].len()) as u64;
-                        let (reader, writer) = plane.arena(sh).epoch(round);
-                        let route = ShardRoute {
-                            shard: sh as u32,
-                            slot_shard: &plane.slot_shard,
-                            slot_local: &plane.slot_local,
-                            queues,
-                            traffic,
-                        };
-                        let list = &mut active[k];
-                        let mut keep = 0usize;
-                        for i in 0..list.len() {
-                            let v = list[i];
-                            let node = NodeId(v);
-                            let inbox = Inbox {
-                                reader,
-                                base: plane.node_base(node),
-                                degree: graph.degree(node),
-                            };
-                            let mut outbox = Outbox {
-                                writer,
-                                graph,
-                                node,
-                                sent: 0,
-                                boundary_sent: 0,
-                                wake: None,
-                                route: Some(&route),
-                            };
-                            // SAFETY: node `v` belongs to shard `sh`, owned
-                            // by this worker alone.
-                            let state = unsafe { &mut *states_ptr.0.add(v as usize) };
-                            let status = state.round(&ctx, &inbox, &mut outbox);
-                            local_msgs += outbox.sent;
-                            perf.node_rounds += 1;
-                            perf.stamp_scans += graph.degree(node) as u64;
-                            perf.boundary_messages += outbox.boundary_sent;
-                            perf.local_messages += outbox.sent - outbox.boundary_sent;
-                            if status == Status::Halt {
-                                newly_halted += 1;
-                            } else {
-                                // Still running: retain in ascending order.
-                                list[keep] = v;
-                                keep += 1;
+                        // Advance this shard as far as its neighborhood
+                        // allows (a worker's own band pipelines: interior
+                        // shards can run ahead while a foreign-owned
+                        // neighbor lags).
+                        loop {
+                            let residents = part.nodes_of(seat.shard);
+                            let active_len = seat.active.as_ref().map_or(residents.len(), Vec::len);
+                            if active_len == 0 {
+                                // Retire: all residents halted (final under
+                                // the one-shot simulator). Publish first so
+                                // producers stop pushing, then drain the
+                                // inbound rings — pending batches address
+                                // halted nodes, which the sequential
+                                // executor drops just the same.
+                                progress[seat.shard].store(RETIRED, Ordering::Release);
+                                for &(_, ri) in &inbound[seat.shard] {
+                                    // SAFETY: this worker is the ring's
+                                    // unique consumer.
+                                    unsafe { rings[ri].discard_all() };
+                                }
+                                seat.done = true;
+                                remaining -= 1;
+                                progressed = true;
+                                break;
                             }
+                            let r = seat.round;
+                            if r >= max_rounds {
+                                // Cap: progress already reads max_rounds,
+                                // which satisfies every neighbor gate.
+                                seat.done = true;
+                                remaining -= 1;
+                                progressed = true;
+                                break;
+                            }
+                            // Epoch gate: every neighbor shard must have
+                            // finished round r - 1 (acquire pairs with
+                            // their publish release, making their batches
+                            // and direct writes visible).
+                            if !nbrs[seat.shard]
+                                .iter()
+                                .all(|&p| progress[p as usize].load(Ordering::Acquire) >= r)
+                            {
+                                break;
+                            }
+                            let arena = &my_arenas[arena_of[seat.shard] as usize];
+                            // Drain inbound batches stamped <= r - 1 into
+                            // this shard's arena, ascending src order. A
+                            // round-r batch from a neighbor already past us
+                            // stays queued for the next round.
+                            if r > 0 {
+                                for &(_, ri) in &inbound[seat.shard] {
+                                    // SAFETY: unique consumer; the writer
+                                    // targets this worker's own arena.
+                                    unsafe {
+                                        rings[ri].pop_upto(r - 1, |b, items| {
+                                            let (_, writer) = arena.epoch(b);
+                                            for (slot, msg) in items.drain(..) {
+                                                writer.write(slot as usize, msg);
+                                            }
+                                        });
+                                    }
+                                }
+                            }
+
+                            // ---- compute round r ----------------------
+                            let ctx = RoundCtx { round: r };
+                            let (reader, writer) = arena.epoch(r);
+                            let route = PinnedRoute {
+                                shard: seat.shard as u32,
+                                round: r,
+                                tables,
+                                owner,
+                                my_worker: w as u32,
+                                arena_of,
+                                my_arenas: &my_arenas,
+                                staging: &staging,
+                            };
+                            perf.sparse_skips += (residents.len() - active_len) as u64;
+                            perf.node_rounds += active_len as u64;
+                            stepped += 1;
+                            let mut round_msgs: u64 = 0;
+                            let step =
+                                |v: u32, perf: &mut ExecPerf, round_msgs: &mut u64| -> Status {
+                                    let node = NodeId(v);
+                                    let inbox = Inbox {
+                                        reader,
+                                        base: tables.node_base(node),
+                                        degree: graph.degree(node),
+                                    };
+                                    let mut outbox = Outbox {
+                                        writer,
+                                        graph,
+                                        node,
+                                        sent: 0,
+                                        boundary_sent: 0,
+                                        wake: None,
+                                        route: Some(crate::protocol::RouteRef::Pinned(&route)),
+                                    };
+                                    // SAFETY: node `v` belongs to this
+                                    // shard, owned by this worker alone.
+                                    let state = unsafe { &mut *states_ptr.0.add(v as usize) };
+                                    let status = state.round(&ctx, &inbox, &mut outbox);
+                                    *round_msgs += outbox.sent;
+                                    perf.stamp_scans += graph.degree(node) as u64;
+                                    perf.boundary_messages += outbox.boundary_sent;
+                                    perf.local_messages += outbox.sent - outbox.boundary_sent;
+                                    status
+                                };
+                            match seat.active.as_mut() {
+                                None => {
+                                    // Dense mode: nobody has halted yet —
+                                    // no list writes, no flag loads. The
+                                    // active list materializes at the
+                                    // first halt.
+                                    let mut list: Option<Vec<u32>> = None;
+                                    for (i, &v) in residents.iter().enumerate() {
+                                        let status = step(v, &mut perf, &mut round_msgs);
+                                        if status == Status::Halt {
+                                            halted += 1;
+                                            list.get_or_insert_with(|| residents[..i].to_vec());
+                                        } else if let Some(l) = list.as_mut() {
+                                            l.push(v);
+                                        }
+                                    }
+                                    if list.is_some() {
+                                        seat.active = list;
+                                    }
+                                }
+                                Some(list) => {
+                                    // Sparse mode: compact in place, writes
+                                    // only after the first halt this round.
+                                    let mut keep = 0usize;
+                                    for i in 0..list.len() {
+                                        let v = list[i];
+                                        let status = step(v, &mut perf, &mut round_msgs);
+                                        if status == Status::Halt {
+                                            halted += 1;
+                                        } else {
+                                            if keep < i {
+                                                list[keep] = v;
+                                            }
+                                            keep += 1;
+                                        }
+                                    }
+                                    list.truncate(keep);
+                                }
+                            }
+                            messages += round_msgs;
+                            if want_trace {
+                                if trace_acc.len() <= r as usize {
+                                    trace_acc.resize(r as usize + 1, (0, 0));
+                                }
+                                trace_acc[r as usize].0 += round_msgs;
+                                trace_acc[r as usize].1 += active_len as u64;
+                            }
+
+                            // ---- publish ------------------------------
+                            for &(dst, ri) in &outbound[seat.shard] {
+                                // SAFETY: worker-local staging.
+                                let batch = unsafe { staging.cell(dst as usize) };
+                                if batch.is_empty() {
+                                    continue;
+                                }
+                                loop {
+                                    if progress[dst as usize].load(Ordering::Acquire) == RETIRED {
+                                        // Destination retired: all its
+                                        // residents halted, the messages
+                                        // would be dropped anyway.
+                                        batch.clear();
+                                        break;
+                                    }
+                                    // SAFETY: unique producer of this ring.
+                                    if unsafe { rings[ri].try_push(r, batch) } {
+                                        break;
+                                    }
+                                    // Full ring: either the consumer is
+                                    // about to drain (it lags at most one
+                                    // round) or it just retired — re-check.
+                                    std::hint::spin_loop();
+                                }
+                            }
+                            progress[seat.shard].store(r + 1, Ordering::Release);
+                            seat.round = r + 1;
+                            progressed = true;
                         }
-                        list.truncate(keep);
                     }
-                    messages.fetch_add(local_msgs, Ordering::Relaxed);
-                    round_messages.fetch_add(local_msgs, Ordering::Relaxed);
-                    total_halted.fetch_add(newly_halted, Ordering::Relaxed);
-                    stepped_total.fetch_add(stepped, Ordering::Relaxed);
-                    skipped_total.fetch_add(skipped, Ordering::Relaxed);
-                    // (a) all sends, queue appends and traffic marks done.
-                    barrier.wait();
-                    if w == 0 {
-                        let halted_now = total_halted.load(Ordering::Relaxed);
-                        if want_trace {
-                            trace.lock().push(RoundStats {
-                                round,
-                                active_nodes: n - halted_before,
-                                messages: round_messages.swap(0, Ordering::Relaxed),
-                            });
-                        } else {
-                            round_messages.store(0, Ordering::Relaxed);
-                        }
-                        halted_before = halted_now;
-                        *pending.lock() = traffic.drain_sorted();
-                        if halted_now == n {
-                            completed.store(true, Ordering::Relaxed);
-                            final_rounds.store(round + 1, Ordering::Relaxed);
-                            stop.store(true, Ordering::Relaxed);
-                        } else if round + 1 >= max_rounds {
-                            final_rounds.store(round + 1, Ordering::Relaxed);
-                            stop.store(true, Ordering::Relaxed);
-                        }
+                    if !progressed && remaining > 0 {
+                        // Every live seat is gated on a foreign worker;
+                        // yield instead of burning the shared core.
+                        std::thread::yield_now();
                     }
-                    // (b) stop decision and pending-traffic list published.
-                    barrier.wait();
-                    if stop.load(Ordering::Relaxed) {
-                        perf_total.lock().absorb(perf);
-                        break;
+                }
+
+                let mut m = merged.lock();
+                m.perf.absorb(perf);
+                m.messages += messages;
+                m.halted += halted;
+                m.stepped += stepped;
+                for seat in &seats {
+                    m.finals[seat.shard] = (seat.round, part.nodes_of(seat.shard).len());
+                }
+                if want_trace {
+                    if m.trace.len() < trace_acc.len() {
+                        m.trace.resize(trace_acc.len(), (0, 0));
                     }
-                    // ---- deliver phase ---------------------------------
-                    my_pending.clear();
-                    my_pending.extend(
-                        pending
-                            .lock()
-                            .iter()
-                            .copied()
-                            .filter(|&d| d as usize % threads == w),
-                    );
-                    for &d in &my_pending {
-                        let d = d as usize;
-                        let (_, writer) = plane.arena(d).epoch(round);
-                        // SAFETY: column `d` belongs to shard `d`'s owner
-                        // (this worker) during the deliver phase.
-                        unsafe { queues.flush_into(d, &writer) };
+                    for (i, &(msgs, act)) in trace_acc.iter().enumerate() {
+                        m.trace[i].0 += msgs;
+                        m.trace[i].1 += act;
                     }
-                    // (c) boundary messages published before the next
-                    // round's reads.
-                    barrier.wait();
-                    round += 1;
                 }
             });
         }
     })
     .expect("sharded simulator worker panicked");
 
+    let merged = merged.into_inner();
+    // The run's round count is the last round any shard computed; rounds a
+    // retired shard never saw are the shard-granular sparse skips, folded
+    // in here so the accounting is identical for every schedule.
+    let rounds = merged.finals.iter().map(|&(t, _)| t).max().unwrap_or(0);
+    let mut perf = merged.perf;
+    let mut skipped: u64 = 0;
+    for &(t, residents) in &merged.finals {
+        if residents > 0 && t < rounds {
+            skipped += (rounds - t) as u64;
+            perf.sparse_skips += residents as u64 * (rounds - t) as u64;
+        }
+    }
     SimOutcome {
         outputs: states.into_iter().map(P::finish).collect(),
-        rounds: final_rounds.load(Ordering::Relaxed),
-        messages: messages.load(Ordering::Relaxed),
-        completed: completed.load(Ordering::Relaxed),
-        trace: want_trace.then(|| trace.into_inner()),
+        rounds,
+        messages: merged.messages,
+        completed: merged.halted == n,
+        trace: want_trace.then(|| {
+            merged
+                .trace
+                .into_iter()
+                .enumerate()
+                .map(|(i, (msgs, act))| RoundStats {
+                    round: i as u32,
+                    active_nodes: act as usize,
+                    messages: msgs,
+                })
+                .collect()
+        }),
         sharding: Some(ShardExecStats {
-            shard_rounds_stepped: stepped_total.load(Ordering::Relaxed),
-            shard_rounds_skipped: skipped_total.load(Ordering::Relaxed),
+            shard_rounds_stepped: merged.stepped,
+            shard_rounds_skipped: skipped,
             ..stats0
         }),
-        perf: perf_total.into_inner(),
+        perf,
+    }
+}
+
+/// The single-shard fast path: the whole graph is one shard, one worker —
+/// no partition plane, no slot translation, no progress atomics. This is
+/// what [`crate::Executor::Parallel`] resolves to when only one hardware
+/// thread is available, so it must beat the dense sequential scan, not just
+/// match it: while no node has halted it iterates `0..n` with zero
+/// bookkeeping (no halted flags, no list writes), and after the first halt
+/// it switches to the compacting active list.
+fn run_single<P: Protocol>(
+    graph: &CsrGraph,
+    mut states: Vec<P>,
+    max_rounds: u32,
+    want_trace: bool,
+    stats0: ShardExecStats,
+) -> SimOutcome<P::Output> {
+    let n = graph.num_nodes();
+    let arena: MessageArena<P::Message> = MessageArena::for_graph(graph);
+    // Every resident steps in a dense round, so its stamp-scan total is the
+    // whole directed-slot count — added once per round instead of per node.
+    let dense_stamps = graph.num_edges() as u64 * 2;
+    let mut active: Option<Vec<u32>> = None;
+    let mut remaining = n;
+    let mut round: u32 = 0;
+    let mut messages: u64 = 0;
+    let mut perf = ExecPerf::default();
+    let mut trace = want_trace.then(Vec::new);
+
+    while remaining > 0 && round < max_rounds {
+        let (reader, writer) = arena.epoch(round);
+        let ctx = RoundCtx { round };
+        let active_now = remaining;
+        perf.sparse_skips += (n - active_now) as u64;
+        perf.node_rounds += active_now as u64;
+        let mut round_msgs: u64 = 0;
+        let mut step = |v: u32, round_msgs: &mut u64| -> Status {
+            let node = NodeId(v);
+            let inbox = Inbox {
+                reader,
+                base: graph.node_offset(node),
+                degree: graph.degree(node),
+            };
+            let mut outbox = Outbox {
+                writer,
+                graph,
+                node,
+                sent: 0,
+                boundary_sent: 0,
+                wake: None,
+                route: None,
+            };
+            let status = states[v as usize].round(&ctx, &inbox, &mut outbox);
+            *round_msgs += outbox.sent;
+            status
+        };
+        match active.as_mut() {
+            None => {
+                perf.stamp_scans += dense_stamps;
+                let nn = n as u32;
+                // Fast lane while nobody has ever halted: no flags, no
+                // list, no bookkeeping beyond the step itself.
+                let mut v = 0u32;
+                while v < nn {
+                    if step(v, &mut round_msgs) == Status::Halt {
+                        break;
+                    }
+                    v += 1;
+                }
+                if v < nn {
+                    // First halt of the run: materialize the active list
+                    // from the prefix that is still running and finish the
+                    // round in list-building mode.
+                    let mut list: Vec<u32> = (0..v).collect();
+                    remaining -= 1;
+                    v += 1;
+                    while v < nn {
+                        match step(v, &mut round_msgs) {
+                            Status::Halt => remaining -= 1,
+                            Status::Continue => list.push(v),
+                        }
+                        v += 1;
+                    }
+                    active = Some(list);
+                }
+            }
+            Some(list) => {
+                let mut keep = 0usize;
+                for i in 0..list.len() {
+                    let v = list[i];
+                    perf.stamp_scans += graph.degree(NodeId(v)) as u64;
+                    let status = step(v, &mut round_msgs);
+                    if status == Status::Halt {
+                        remaining -= 1;
+                    } else {
+                        if keep < i {
+                            list[keep] = v;
+                        }
+                        keep += 1;
+                    }
+                }
+                list.truncate(keep);
+            }
+        }
+        messages += round_msgs;
+        if let Some(t) = trace.as_mut() {
+            t.push(RoundStats {
+                round,
+                active_nodes: active_now,
+                messages: round_msgs,
+            });
+        }
+        round += 1;
+    }
+
+    perf.local_messages = messages;
+    SimOutcome {
+        outputs: states.into_iter().map(P::finish).collect(),
+        rounds: round,
+        messages,
+        completed: remaining == 0,
+        trace,
+        sharding: Some(ShardExecStats {
+            shard_rounds_stepped: round as u64,
+            shard_rounds_skipped: 0,
+            ..stats0
+        }),
+        perf,
     }
 }
 
@@ -526,12 +981,12 @@ mod tests {
         }
     }
 
-    /// Regression: a boundary batch queued by a shard whose nodes *all*
-    /// halt in the sending round must still be flushed to the receiving
-    /// shard in that round's deliver phase. On the path 0-1-2-3 with two
-    /// BFS-grown shards {0,1} | {2,3}, node 0 (mute) and node 1 (source)
-    /// both quiesce in round 0 while node 1's send to node 2 crosses the
-    /// shard boundary; the relay wave must still reach node 3.
+    /// Regression: a boundary batch produced by a shard whose nodes *all*
+    /// halt in the sending round must still reach the receiving shard
+    /// before the sender retires. On the path 0-1-2-3 with two BFS-grown
+    /// shards {0,1} | {2,3}, node 0 (mute) and node 1 (source) both
+    /// quiesce in round 0 while node 1's send to node 2 crosses the shard
+    /// boundary; the relay wave must still reach node 3.
     #[test]
     fn boundary_batch_flushes_when_sending_shard_quiesces_mid_round() {
         let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
@@ -548,8 +1003,8 @@ mod tests {
             assert_eq!(sh.messages, seq.messages, "threads {threads}");
             assert!(sh.completed);
             let stats = sh.sharding.expect("sharded stats");
-            // Shard {0,1} is fully quiesced after round 0 and must skip
-            // its compute scan for the remaining rounds.
+            // Shard {0,1} retires after round 0 and must skip the
+            // remaining rounds.
             assert!(
                 stats.shard_rounds_skipped >= 2,
                 "threads {threads}: {stats:?}"
@@ -557,10 +1012,10 @@ mod tests {
         }
     }
 
-    /// Regression: batches from *several* quiescing source shards
-    /// addressed to one receiver are drained in ascending src-shard order
-    /// by the receiver's owner; outputs (port-tagged payload multiset and
-    /// arrival round) must be bit-identical to the sequential executor.
+    /// Regression: batches from *several* retiring source shards addressed
+    /// to one receiver are drained in ascending src-shard order by the
+    /// receiver's owner; outputs (port-tagged payload multiset and arrival
+    /// round) must be bit-identical to the sequential executor.
     #[test]
     fn flush_ordering_across_multiple_quiescing_source_shards() {
         // Star-ish path 0-1-2: three singleton shards; both endpoints are
@@ -575,6 +1030,129 @@ mod tests {
             assert_eq!(sh.outputs, seq.outputs, "{shards}x{threads}");
             assert_eq!(sh.rounds, seq.rounds, "{shards}x{threads}");
             assert_eq!(sh.messages, seq.messages, "{shards}x{threads}");
+        }
+    }
+}
+
+/// Interleaving property tests: the epoch protocol must deliver
+/// bit-identical results no matter how the OS schedules the workers. The
+/// protocol below burns a per-(node, round) pseudorandom amount of CPU
+/// inside `round()`, so every proptest case perturbs the real arrival
+/// order of batch pushes, gate checks and retirements across threads.
+#[cfg(test)]
+mod prop_tests {
+    use crate::protocol::{Inbox, NodeInit, Outbox, Protocol, RoundCtx, Status};
+    use crate::Simulator;
+    use proptest::prelude::*;
+    use td_graph::CsrGraph;
+
+    /// Gossip with jitter: every node sums everything it hears, forwards
+    /// the running sum, and halts at a per-node pseudorandom round. The
+    /// spin loop desynchronizes workers without touching semantics.
+    struct JitterGossip {
+        acc: u64,
+        halt_round: u32,
+        jitter: u32,
+    }
+
+    impl Protocol for JitterGossip {
+        type Input = u32; // per-node seed
+        type Message = u64;
+        type Output = u64;
+
+        fn init(node: NodeInit<'_, u32>) -> Self {
+            JitterGossip {
+                acc: u64::from(node.id.0) + 1,
+                halt_round: node.input % 7,
+                jitter: *node.input,
+            }
+        }
+
+        fn round(
+            &mut self,
+            ctx: &RoundCtx,
+            inbox: &Inbox<'_, u64>,
+            outbox: &mut Outbox<'_, '_, u64>,
+        ) -> Status {
+            for (_, &m) in inbox.iter() {
+                self.acc = self.acc.wrapping_mul(31).wrapping_add(m);
+            }
+            // Deterministic state, nondeterministic timing: spin an amount
+            // that varies per (node, round) so workers drift apart.
+            let spins = (self.jitter.wrapping_mul(ctx.round + 1)) % 400;
+            for _ in 0..spins {
+                std::hint::spin_loop();
+            }
+            if ctx.round >= self.halt_round {
+                Status::Halt
+            } else {
+                outbox.broadcast(self.acc);
+                Status::Continue
+            }
+        }
+
+        fn finish(self) -> u64 {
+            self.acc
+        }
+    }
+
+    /// Splitmix-style generator: expands one sampled seed into edge lists
+    /// and per-node inputs (the vendored proptest shim samples scalars
+    /// only).
+    fn mix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Random graphs × random per-node halt schedules × real threads:
+        /// outputs, rounds, messages and the scheduling-independent perf
+        /// counters must match the sequential executor exactly.
+        #[test]
+        fn pinned_workers_match_sequential_under_jitter(
+            n in 2usize..40,
+            seed in 0u64..u64::MAX,
+            chords in 0usize..60,
+            shards in 1usize..7,
+            threads in 1usize..5,
+        ) {
+            let mut st = seed;
+            // Path backbone keeps the graph connected; extra edges add
+            // cross-shard chords.
+            let mut edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|v| (v, v + 1)).collect();
+            for _ in 0..chords {
+                let a = (mix(&mut st) % n as u64) as u32;
+                let b = (mix(&mut st) % n as u64) as u32;
+                if a != b {
+                    edges.push((a.min(b), a.max(b)));
+                }
+            }
+            edges.sort_unstable();
+            edges.dedup();
+            let g = CsrGraph::from_edges(n, &edges).unwrap();
+            let inputs: Vec<u32> = (0..n).map(|_| (mix(&mut st) % 1000) as u32).collect();
+            let seq = Simulator::sequential().run::<JitterGossip>(&g, &inputs);
+            let sh = Simulator::sharded(shards, threads).run::<JitterGossip>(&g, &inputs);
+            prop_assert_eq!(&sh.outputs, &seq.outputs);
+            prop_assert_eq!(sh.rounds, seq.rounds);
+            prop_assert_eq!(sh.messages, seq.messages);
+            prop_assert_eq!(sh.completed, seq.completed);
+            prop_assert_eq!(sh.perf.node_rounds, seq.perf.node_rounds);
+            prop_assert_eq!(sh.perf.sparse_skips, seq.perf.halted_scans);
+            prop_assert_eq!(sh.perf.stamp_scans, seq.perf.stamp_scans);
+            prop_assert_eq!(
+                sh.perf.local_messages + sh.perf.boundary_messages,
+                sh.messages
+            );
+            let par = Simulator::parallel(threads).run::<JitterGossip>(&g, &inputs);
+            prop_assert_eq!(&par.outputs, &seq.outputs);
+            prop_assert_eq!(par.rounds, seq.rounds);
+            prop_assert_eq!(par.messages, seq.messages);
         }
     }
 }

@@ -1,12 +1,9 @@
-//! The simulator driver: sequential and multi-threaded executors with
+//! The simulator driver: sequential and pinned-worker executors with
 //! identical semantics.
 
 use crate::arena::MessageArena;
 use crate::metrics::{ExecPerf, RoundStats, SimOutcome};
 use crate::protocol::{Inbox, NodeInit, Outbox, Protocol, RoundCtx, Status};
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Barrier;
 use td_graph::{CsrGraph, NodeId};
 
 /// Which engine steps the nodes. All engines implement the *same*
@@ -14,22 +11,52 @@ use td_graph::{CsrGraph, NodeId};
 /// enforce this). Parallelism and sharding affect wall-clock time only.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Executor {
-    /// Step nodes one by one on the calling thread.
+    /// Step nodes one by one on the calling thread (the dense reference
+    /// scan the sparse engine is measured against).
     Sequential,
-    /// Step nodes on `threads` worker threads (strided node partition).
+    /// Alias for the pinned-worker sharded engine with an automatic shard
+    /// count: `threads` is clamped to the available hardware parallelism
+    /// and the shard count is derived from the graph size (about four
+    /// BFS-grown shards per worker, never finer than ~1k nodes per shard).
+    /// The former strided executor — global barrier per round, every
+    /// worker scanning its stride — is retired; see [`crate::shard`] for
+    /// the replacement's epoch protocol.
     Parallel {
-        /// Number of worker threads (>= 1).
+        /// Number of worker threads (>= 1; clamped to hardware threads).
         threads: usize,
     },
     /// Step nodes shard by shard on a locality-aware BFS-grown partition,
-    /// with per-shard message arenas and batched boundary delivery (see
-    /// [`crate::shard`]). Fully quiesced shards skip rounds entirely.
+    /// with per-shard worker-owned message arenas, SPSC-batched boundary
+    /// delivery and barrier-free epoch synchronization (see
+    /// [`crate::shard`]). Fully quiesced shards retire and skip rounds
+    /// entirely.
     Sharded {
         /// Number of shards (>= 1).
         shards: usize,
         /// Number of worker threads (>= 1; clamped to `shards`).
         threads: usize,
     },
+}
+
+/// Worker threads the host actually has; the pinned-worker engine never
+/// spawns more (oversubscribed workers just preempt each other between the
+/// epoch gates and make everything slower).
+fn hw_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(1)
+}
+
+/// Shard count for [`Executor::Parallel`]: about four BFS-grown shards per
+/// worker so the epoch protocol can pipeline (a worker runs an interior
+/// shard ahead while a foreign-owned neighbor lags), but never finer than
+/// ~1k nodes per shard — tiny shards turn everything into boundary traffic.
+fn auto_shards(n: usize, workers: usize) -> usize {
+    if workers <= 1 || n <= 1 {
+        return 1;
+    }
+    let cap = (n / 1024).max(workers);
+    (workers * 4).min(cap).max(workers).min(n)
 }
 
 /// Configurable simulator for [`Protocol`]s. See the crate docs for an
@@ -51,7 +78,10 @@ impl Simulator {
         }
     }
 
-    /// A parallel simulator over `threads` workers.
+    /// A parallel simulator over `threads` workers: an alias for the
+    /// pinned-worker sharded engine with an automatic shard count (see
+    /// [`Executor::Parallel`]). Outputs are bit-identical to
+    /// [`Simulator::sequential`] for every thread count.
     pub fn parallel(threads: usize) -> Self {
         assert!(threads >= 1);
         Simulator {
@@ -129,7 +159,18 @@ impl Simulator {
             .collect();
         match self.executor {
             Executor::Sequential => self.run_sequential(graph, states),
-            Executor::Parallel { threads } => self.run_parallel(graph, states, threads),
+            Executor::Parallel { threads } => {
+                let workers = threads.min(hw_threads()).max(1);
+                let shards = auto_shards(graph.num_nodes(), workers);
+                crate::shard::run_sharded(
+                    graph,
+                    states,
+                    shards,
+                    workers,
+                    self.max_rounds,
+                    self.trace,
+                )
+            }
             Executor::Sharded { shards, threads } => crate::shard::run_sharded(
                 graph,
                 states,
@@ -216,201 +257,6 @@ impl Simulator {
             trace,
             sharding: None,
             perf,
-        }
-    }
-
-    fn run_parallel<P: Protocol>(
-        &self,
-        graph: &CsrGraph,
-        states: Vec<P>,
-        threads: usize,
-    ) -> SimOutcome<P::Output> {
-        let n = graph.num_nodes();
-        if n == 0 {
-            return SimOutcome {
-                outputs: Vec::new(),
-                rounds: 0,
-                messages: 0,
-                completed: true,
-                trace: self.trace.then(Vec::new),
-                sharding: None,
-                perf: ExecPerf::default(),
-            };
-        }
-        if self.max_rounds == 0 {
-            // Match the sequential executor's cap-before-stepping check: a
-            // zero budget executes nothing (the worker loop below always
-            // runs its first round before checking the cap).
-            return SimOutcome {
-                outputs: states.into_iter().map(P::finish).collect(),
-                rounds: 0,
-                messages: 0,
-                completed: false,
-                trace: self.trace.then(Vec::new),
-                sharding: None,
-                perf: ExecPerf::default(),
-            };
-        }
-        let threads = threads.min(n);
-        let arena: MessageArena<P::Message> = MessageArena::for_graph(graph);
-        debug_assert!(self.max_rounds < u32::MAX - 1, "stamps reserve u32::MAX");
-
-        // Strided node partition: worker `w` owns nodes `w, w+T, w+2T, …`.
-        // Generators tend to order nodes by role (level, side), so contiguous
-        // chunks would give one worker all the early-halting nodes; striding
-        // balances the per-round work. States are laid out worker-major so
-        // each worker still gets one contiguous `&mut` chunk.
-        let mut order: Vec<u32> = Vec::with_capacity(n);
-        for w in 0..threads {
-            let mut k = w;
-            while k < n {
-                order.push(k as u32);
-                k += threads;
-            }
-        }
-        let mut permuted: Vec<P> = Vec::with_capacity(n);
-        let mut tmp: Vec<Option<P>> = states.into_iter().map(Some).collect();
-        for &v in &order {
-            permuted.push(tmp[v as usize].take().expect("each node placed once"));
-        }
-        drop(tmp);
-        let mut states = permuted;
-
-        let total_halted = AtomicUsize::new(0);
-        let messages = AtomicU64::new(0);
-        let round_messages = AtomicU64::new(0);
-        let perf_total: Mutex<ExecPerf> = Mutex::new(ExecPerf::default());
-        let stop = AtomicBool::new(false);
-        let completed = AtomicBool::new(false);
-        let final_rounds = AtomicU32::new(0);
-        // Two barrier points per round:
-        //   (a) after the compute/send phase — all mailbox writes for the
-        //       next round are published;
-        //   (b) after worker 0 decided whether to stop — all workers agree.
-        let barrier = Barrier::new(threads);
-        let trace: Mutex<Vec<RoundStats>> = Mutex::new(Vec::new());
-        let want_trace = self.trace;
-        let max_rounds = self.max_rounds;
-
-        // Split the worker-major state vector at each worker's node count.
-        let counts: Vec<usize> = (0..threads).map(|w| (n - w).div_ceil(threads)).collect();
-        let mut chunks: Vec<&mut [P]> = Vec::with_capacity(threads);
-        let mut rest: &mut [P] = &mut states;
-        for &c in &counts {
-            let (head, tail) = rest.split_at_mut(c);
-            chunks.push(head);
-            rest = tail;
-        }
-        debug_assert!(rest.is_empty());
-
-        crossbeam::thread::scope(|scope| {
-            for (w, chunk) in chunks.drain(..).enumerate() {
-                let arena = &arena;
-                let barrier = &barrier;
-                let total_halted = &total_halted;
-                let messages = &messages;
-                let round_messages = &round_messages;
-                let stop = &stop;
-                let completed = &completed;
-                let final_rounds = &final_rounds;
-                let perf_total = &perf_total;
-                let trace = &trace;
-                scope.spawn(move |_| {
-                    let mut halted = vec![false; chunk.len()];
-                    let mut round: u32 = 0;
-                    let mut halted_before: usize = 0; // coordinator-only
-                    let mut perf = ExecPerf::default();
-                    loop {
-                        let (reader, writer) = arena.epoch(round);
-                        let ctx = RoundCtx { round };
-                        let mut local_msgs: u64 = 0;
-                        let mut newly_halted: usize = 0;
-                        for (i, state) in chunk.iter_mut().enumerate() {
-                            if halted[i] {
-                                perf.halted_scans += 1;
-                                continue;
-                            }
-                            let node = NodeId::from(w + i * threads);
-                            let inbox = Inbox {
-                                reader,
-                                base: graph.node_offset(node),
-                                degree: graph.degree(node),
-                            };
-                            let mut outbox = Outbox {
-                                writer,
-                                graph,
-                                node,
-                                sent: 0,
-                                boundary_sent: 0,
-                                wake: None,
-                                route: None,
-                            };
-                            let status = state.round(&ctx, &inbox, &mut outbox);
-                            local_msgs += outbox.sent;
-                            perf.node_rounds += 1;
-                            perf.stamp_scans += graph.degree(node) as u64;
-                            if status == Status::Halt {
-                                halted[i] = true;
-                                newly_halted += 1;
-                            }
-                        }
-                        perf.local_messages += local_msgs;
-                        messages.fetch_add(local_msgs, Ordering::Relaxed);
-                        round_messages.fetch_add(local_msgs, Ordering::Relaxed);
-                        total_halted.fetch_add(newly_halted, Ordering::Relaxed);
-                        // (a) all sends for round `round` are in the write buffer.
-                        barrier.wait();
-                        if w == 0 {
-                            let halted_now = total_halted.load(Ordering::Relaxed);
-                            if want_trace {
-                                trace.lock().push(RoundStats {
-                                    round,
-                                    active_nodes: n - halted_before,
-                                    messages: round_messages.swap(0, Ordering::Relaxed),
-                                });
-                            } else {
-                                round_messages.store(0, Ordering::Relaxed);
-                            }
-                            halted_before = halted_now;
-                            if halted_now == n {
-                                completed.store(true, Ordering::Relaxed);
-                                final_rounds.store(round + 1, Ordering::Relaxed);
-                                stop.store(true, Ordering::Relaxed);
-                            } else if round + 1 >= max_rounds {
-                                final_rounds.store(round + 1, Ordering::Relaxed);
-                                stop.store(true, Ordering::Relaxed);
-                            }
-                        }
-                        // (b) stop decision is published.
-                        barrier.wait();
-                        if stop.load(Ordering::Relaxed) {
-                            perf_total.lock().absorb(perf);
-                            break;
-                        }
-                        round += 1;
-                    }
-                });
-            }
-        })
-        .expect("simulator worker panicked");
-
-        // Un-permute: state at worker-major position `pos` belongs to node
-        // `order[pos]`.
-        let mut outputs: Vec<Option<P::Output>> = (0..n).map(|_| None).collect();
-        for (pos, state) in states.into_iter().enumerate() {
-            outputs[order[pos] as usize] = Some(state.finish());
-        }
-        SimOutcome {
-            outputs: outputs
-                .into_iter()
-                .map(|o| o.expect("every node finished"))
-                .collect(),
-            rounds: final_rounds.load(Ordering::Relaxed),
-            messages: messages.load(Ordering::Relaxed),
-            completed: completed.load(Ordering::Relaxed),
-            trace: want_trace.then(|| trace.into_inner()),
-            sharding: None,
-            perf: perf_total.into_inner(),
         }
     }
 }
@@ -765,9 +611,18 @@ mod tests {
         assert!(seq.perf.halted_scans > 0);
         assert_eq!(seq.perf.local_messages, seq.messages);
         assert_eq!(seq.perf.boundary_messages, 0);
+        // The parallel alias runs the sparse pinned-worker engine: it never
+        // scans a halted node; the rounds it skipped are exactly what the
+        // dense baseline scanned past.
         let par = Simulator::parallel(3).run::<HalfQuiesce>(&g, &inputs);
-        assert_eq!(par.perf.halted_scans, seq.perf.halted_scans);
+        assert_eq!(par.perf.halted_scans, 0);
+        assert_eq!(par.perf.sparse_skips, seq.perf.halted_scans);
         assert_eq!(par.perf.node_rounds, seq.perf.node_rounds);
+        assert_eq!(par.perf.stamp_scans, seq.perf.stamp_scans);
+        assert_eq!(
+            par.perf.local_messages + par.perf.boundary_messages,
+            par.messages
+        );
         for (shards, threads) in [(1usize, 1usize), (4, 2), (8, 3)] {
             let sh = Simulator::sharded(shards, threads).run::<HalfQuiesce>(&g, &inputs);
             assert_eq!(sh.rounds, seq.rounds, "{shards}x{threads}");
@@ -796,6 +651,39 @@ mod tests {
             out.perf.local_messages + out.perf.boundary_messages,
             out.messages
         );
+    }
+
+    /// Satellite contract: `ExecPerf` aggregation is deterministic across
+    /// workers. Per-worker accumulators are merged once at join, and the
+    /// scheduling-independent counters (`node_rounds`, `sparse_skips`,
+    /// `boundary_messages`, `stamp_scans`, the message split) must be equal
+    /// between sequential and parallel runs and across repeated runs of the
+    /// same grid point — no matter how the OS interleaved the workers.
+    #[test]
+    fn perf_counters_aggregate_deterministically_across_workers() {
+        let g = cycle(64);
+        let inputs = bfs_inputs(64);
+        let seq = Simulator::sequential().run::<BfsDist>(&g, &inputs);
+        for (label, sim) in [
+            ("parallel(4)", Simulator::parallel(4)),
+            ("sharded(6,3)", Simulator::sharded(6, 3)),
+            ("sharded(8,4)", Simulator::sharded(8, 4)),
+        ] {
+            let a = sim.run::<BfsDist>(&g, &inputs);
+            assert_eq!(a.perf.node_rounds, seq.perf.node_rounds, "{label}");
+            assert_eq!(a.perf.sparse_skips, seq.perf.halted_scans, "{label}");
+            assert_eq!(a.perf.stamp_scans, seq.perf.stamp_scans, "{label}");
+            assert_eq!(
+                a.perf.local_messages + a.perf.boundary_messages,
+                seq.messages,
+                "{label}"
+            );
+            // Re-running the same grid point reproduces every counter bit
+            // for bit, including the boundary/local split.
+            let b = sim.run::<BfsDist>(&g, &inputs);
+            assert_eq!(a.perf, b.perf, "{label}");
+            assert_eq!(a.sharding, b.sharding, "{label}");
+        }
     }
 
     #[test]

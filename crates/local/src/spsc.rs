@@ -1,0 +1,309 @@
+//! Single-producer single-consumer rings of round-stamped message batches:
+//! the boundary plane of the pinned-worker sharded executor.
+//!
+//! One [`BatchRing`] exists per *directed, cross-worker* shard pair with at
+//! least one cut edge. The worker owning the source shard is the only
+//! producer, the worker owning the destination shard is the only consumer —
+//! that pairing is fixed for the whole run (threads own shards long-term),
+//! which is what makes the SPSC discipline structural rather than policed.
+//!
+//! ## Why a ring of *batches*, not messages
+//!
+//! The epoch protocol (see [`crate::shard`]) synchronizes at round
+//! granularity: a shard may step round `r` once every in-neighbor has
+//! finished round `r - 1`. All a producer has to publish per round is
+//! therefore *one* batch — the `(local slot, payload)` pairs its round-`r`
+//! compute emitted toward that destination — and all a consumer has to do
+//! is drain whole batches. A batch push is a single `Vec` swap plus one
+//! release store; per-message atomics never happen.
+//!
+//! ## Capacity is a protocol invariant, not a tuning knob
+//!
+//! Neighboring shards can never drift more than one round apart (shard
+//! adjacency is symmetric on an undirected graph, so the gate works both
+//! ways). Hence at most two batches per ring are ever unconsumed while both
+//! endpoints live — rounds `r` and `r + 1` of a consumer about to step
+//! `r + 1` — plus at most one in-flight batch racing a destination that
+//! just retired. [`RING_CAP`] = 4 leaves headroom; a full ring therefore
+//! signals "consumer retired mid-push", and the producer re-checks the
+//! retirement flag instead of spinning forever (see
+//! [`crate::shard`]'s publish loop).
+//!
+//! ## Memory reuse
+//!
+//! Batch vectors shuttle between producer staging and ring cells by `swap`:
+//! the producer swaps its filled staging vector into the cell and takes the
+//! previously drained (empty, capacity-retaining) one back. After warm-up
+//! the boundary plane allocates nothing.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Ring capacity in batches. See the module docs for why 4 is an invariant
+/// bound (≤ 2 live + ≤ 1 racing a retirement), not a tunable.
+pub(crate) const RING_CAP: usize = 4;
+
+/// One round's worth of boundary traffic for a (src shard, dst shard) pair:
+/// the round it was produced in, plus `(destination-local slot, payload)`
+/// pairs in send order.
+struct Batch<M> {
+    round: u32,
+    items: Vec<(u32, M)>,
+}
+
+/// A bounded SPSC ring of round-stamped batches.
+///
+/// # Safety contract
+/// At most one thread may call the producer methods ([`BatchRing::try_push`])
+/// and at most one thread the consumer methods ([`BatchRing::pop_upto`],
+/// [`BatchRing::discard_all`]) over the ring's lifetime. The pinned-worker
+/// executor guarantees this structurally (fixed shard→worker ownership).
+pub(crate) struct BatchRing<M> {
+    cells: Box<[UnsafeCell<Batch<M>>]>,
+    /// Consumer cursor: next unread cell. Monotonic; cell index is `% cap`.
+    head: AtomicU64,
+    /// Producer cursor: next free cell. Monotonic; cell index is `% cap`.
+    tail: AtomicU64,
+}
+
+// SAFETY: the cells are accessed only under the one-producer/one-consumer
+// contract above; the head/tail acquire-release pair orders every cell
+// access (a cell is touched by the producer only while `tail - head < cap`
+// holds on its index, and by the consumer only while `head < tail`).
+unsafe impl<M: Send> Sync for BatchRing<M> {}
+
+impl<M> BatchRing<M> {
+    /// An empty ring with [`RING_CAP`] batch cells.
+    pub(crate) fn new() -> Self {
+        BatchRing {
+            cells: (0..RING_CAP)
+                .map(|_| {
+                    UnsafeCell::new(Batch {
+                        round: 0,
+                        items: Vec::new(),
+                    })
+                })
+                .collect(),
+            head: AtomicU64::new(0),
+            tail: AtomicU64::new(0),
+        }
+    }
+
+    /// Producer: publishes `staging` as the batch of `round`, swapping the
+    /// cell's previously drained vector back into `staging` (empty, capacity
+    /// retained). Returns `false` without touching `staging` if the ring is
+    /// full — the caller decides whether to spin or to drop (destination
+    /// retired).
+    ///
+    /// # Safety
+    /// Caller is the ring's unique producer.
+    pub(crate) unsafe fn try_push(&self, round: u32, staging: &mut Vec<(u32, M)>) -> bool {
+        let tail = self.tail.load(Ordering::Relaxed);
+        // Acquire pairs with the consumer's release in `advance_head`: the
+        // cell we are about to overwrite must be fully drained first.
+        let head = self.head.load(Ordering::Acquire);
+        if tail - head >= RING_CAP as u64 {
+            return false;
+        }
+        let cell = &mut *self.cells[(tail % RING_CAP as u64) as usize].get();
+        cell.round = round;
+        std::mem::swap(&mut cell.items, staging);
+        // Release publishes the cell contents to the consumer.
+        self.tail.store(tail + 1, Ordering::Release);
+        true
+    }
+
+    /// Consumer: drains every pending batch stamped `<= upto`, front to
+    /// back, calling `drain(round, items)` per batch. `items` is handed out
+    /// `&mut` so the callee empties it in place (capacity stays in the cell
+    /// for the producer to reuse). Batches stamped later than `upto` stay
+    /// queued. Returns the number of batches drained.
+    ///
+    /// # Safety
+    /// Caller is the ring's unique consumer.
+    pub(crate) unsafe fn pop_upto(
+        &self,
+        upto: u32,
+        mut drain: impl FnMut(u32, &mut Vec<(u32, M)>),
+    ) -> usize {
+        let mut popped = 0;
+        loop {
+            let head = self.head.load(Ordering::Relaxed);
+            // Acquire pairs with the producer's release in `try_push`.
+            let tail = self.tail.load(Ordering::Acquire);
+            if head == tail {
+                return popped;
+            }
+            let cell = &mut *self.cells[(head % RING_CAP as u64) as usize].get();
+            if cell.round > upto {
+                return popped;
+            }
+            drain(cell.round, &mut cell.items);
+            debug_assert!(cell.items.is_empty(), "drain must empty the batch");
+            // Release hands the (drained) cell back to the producer.
+            self.head.store(head + 1, Ordering::Release);
+            popped += 1;
+        }
+    }
+
+    /// Consumer: drops every pending batch regardless of round — the
+    /// drain-on-quiesce step of shard retirement. Payloads are dropped,
+    /// vector capacity stays in the cells.
+    ///
+    /// # Safety
+    /// Caller is the ring's unique consumer.
+    pub(crate) unsafe fn discard_all(&self) -> usize {
+        self.pop_upto(u32::MAX, |_, items| items.clear())
+    }
+
+    /// Number of pending batches (test/diagnostic view; racy by nature).
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        (self.tail.load(Ordering::Acquire) - self.head.load(Ordering::Acquire)) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch(vals: &[u32]) -> Vec<(u32, u32)> {
+        vals.iter().map(|&v| (v, v * 10)).collect()
+    }
+
+    /// Cursors are monotonic u64s and the cell index wraps: pushing and
+    /// popping far past the capacity must keep round-trip fidelity.
+    #[test]
+    fn wraparound_preserves_batches() {
+        let ring: BatchRing<u32> = BatchRing::new();
+        let mut staging: Vec<(u32, u32)> = Vec::new();
+        for round in 0..10 * RING_CAP as u32 {
+            staging.extend(batch(&[round, round + 1]));
+            // SAFETY: single thread is both producer and consumer.
+            unsafe {
+                assert!(ring.try_push(round, &mut staging));
+                assert!(staging.is_empty(), "push must take the staging vec");
+                let mut seen = Vec::new();
+                let popped = ring.pop_upto(round, |r, items| {
+                    seen.push((r, std::mem::take(items)));
+                });
+                assert_eq!(popped, 1);
+                assert_eq!(seen, vec![(round, batch(&[round, round + 1]))]);
+            }
+        }
+        assert_eq!(ring.len(), 0);
+    }
+
+    /// Backpressure: a full ring refuses the push and leaves the staging
+    /// vector untouched; one pop frees exactly one cell.
+    #[test]
+    fn backpressure_full_ring_rejects_push() {
+        let ring: BatchRing<u32> = BatchRing::new();
+        let mut staging: Vec<(u32, u32)> = Vec::new();
+        unsafe {
+            for round in 0..RING_CAP as u32 {
+                staging.push((round, 0));
+                assert!(ring.try_push(round, &mut staging));
+            }
+            staging.push((99, 0));
+            assert!(!ring.try_push(RING_CAP as u32, &mut staging));
+            assert_eq!(staging, vec![(99, 0)], "rejected push must not consume");
+            // Draining one batch frees one cell.
+            assert_eq!(ring.pop_upto(0, |_, items| items.clear()), 1);
+            assert!(ring.try_push(RING_CAP as u32, &mut staging));
+            assert_eq!(ring.len(), RING_CAP);
+        }
+    }
+
+    /// Round gating: `pop_upto(r)` must stop in front of a batch stamped
+    /// `r + 1` — that batch belongs to a round the consumer has not
+    /// synchronized with yet.
+    #[test]
+    fn pop_respects_round_gate() {
+        let ring: BatchRing<u32> = BatchRing::new();
+        let mut staging = batch(&[1]);
+        unsafe {
+            assert!(ring.try_push(7, &mut staging));
+            staging.extend(batch(&[2]));
+            assert!(ring.try_push(8, &mut staging));
+            let mut rounds = Vec::new();
+            assert_eq!(
+                ring.pop_upto(7, |r, items| {
+                    rounds.push(r);
+                    items.clear();
+                }),
+                1
+            );
+            assert_eq!(rounds, vec![7]);
+            assert_eq!(ring.len(), 1, "round-8 batch must stay queued");
+            assert_eq!(ring.pop_upto(8, |_, items| items.clear()), 1);
+        }
+    }
+
+    /// Drain-on-quiesce: retirement discards everything pending, including
+    /// batches stamped beyond any round the consumer reached, and the
+    /// capacity of the cell vectors survives for producer reuse.
+    #[test]
+    fn discard_all_empties_ring() {
+        let ring: BatchRing<u32> = BatchRing::new();
+        let mut staging = batch(&[1, 2, 3]);
+        unsafe {
+            assert!(ring.try_push(5, &mut staging));
+            staging.extend(batch(&[4]));
+            assert!(ring.try_push(6, &mut staging));
+            assert_eq!(ring.discard_all(), 2);
+            assert_eq!(ring.len(), 0);
+            // Pushing past the wrap point lands in a cell drained above;
+            // its vector (empty, capacity retained) swaps back to the
+            // producer for reuse.
+            for r in 7..10 {
+                staging.extend(batch(&[9]));
+                assert!(ring.try_push(r, &mut staging));
+            }
+            assert!(
+                staging.capacity() >= 3,
+                "swap must return a reusable vector"
+            );
+        }
+    }
+
+    /// Two real threads, many batches: FIFO order and payload fidelity hold
+    /// under genuine concurrency, with the producer spinning on backpressure
+    /// exactly as the executor's publish loop does.
+    #[test]
+    fn cross_thread_fifo_stress() {
+        let ring: BatchRing<u64> = BatchRing::new();
+        let rounds: u32 = 20_000;
+        crossbeam::thread::scope(|scope| {
+            let ring = &ring;
+            scope.spawn(move |_| {
+                let mut staging: Vec<(u32, u64)> = Vec::new();
+                for r in 0..rounds {
+                    staging.push((r, r as u64 * 3 + 1));
+                    // SAFETY: this thread is the unique producer.
+                    while !unsafe { ring.try_push(r, &mut staging) } {
+                        std::hint::spin_loop();
+                    }
+                }
+            });
+            scope.spawn(move |_| {
+                let mut next: u32 = 0;
+                while next < rounds {
+                    // SAFETY: this thread is the unique consumer.
+                    unsafe {
+                        ring.pop_upto(rounds, |r, items| {
+                            assert_eq!(r, next, "batches must arrive in FIFO order");
+                            assert_eq!(items.len(), 1);
+                            let (slot, payload) = items.pop().unwrap();
+                            assert_eq!(slot, r);
+                            assert_eq!(payload, r as u64 * 3 + 1);
+                            next += 1;
+                        });
+                    }
+                    std::hint::spin_loop();
+                }
+            });
+        })
+        .unwrap();
+    }
+}

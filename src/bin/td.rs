@@ -57,15 +57,17 @@ USAGE:
                                        'small-world:size=32:seed=7'
   td perf                              run the perf telemetry sweep
                                        (scenario x executor x size) and
-                                       write the versioned BENCH_5.json
+                                       write the versioned BENCH_6.json
   td perf --list                       list the perf scenarios
   td perf [--scenario <name> [--sizes N,N,..]] [--seed S] [--threads T]
-          [--shards K] [--out FILE] [--quick]
+          [--shards K] [--out FILE] [--quick] [--repeat N]
                                        restrict / reshape the sweep
                                        (--sizes needs --scenario: size
                                        units differ per scenario); --quick
                                        runs the smallest size of each
-                                       ladder (the CI smoke)
+                                       ladder (the CI smoke); --repeat N
+                                       takes min-of-N wall timing per point
+                                       (default 3, 1 under --quick)
   td --help | -h                       this text
 
 FILES:
@@ -483,7 +485,7 @@ fn cmd_fuzz(args: &[String]) -> i32 {
 fn cmd_perf(args: &[String]) -> i32 {
     use td_bench::perf::{self, SweepConfig};
     let mut cfg = SweepConfig::default();
-    let mut out_path = String::from("BENCH_5.json");
+    let mut out_path = String::from("BENCH_6.json");
     // Pre-scan the perf-specific flags; everything else goes through the
     // shared RunFlags parser so --seed/--threads/--shards keep exactly the
     // bench/churn validation semantics (exit 2 on 0/garbage).
@@ -492,6 +494,10 @@ fn cmd_perf(args: &[String]) -> i32 {
     // `td perf --threads 0 --list` still exits 2 like every other
     // malformed invocation.
     let mut want_list = false;
+    // `--repeat N`: min-of-N wall timing for every point. Deferred so
+    // `--quick` (which implies repeat 1, like `SweepConfig::quick()`) and
+    // an explicit `--repeat` compose in either flag order.
+    let mut repeat_flag: Option<usize> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -540,6 +546,16 @@ fn cmd_perf(args: &[String]) -> i32 {
                     }
                 }
             }
+            "--repeat" => match args.get(i + 1).and_then(|raw| raw.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => {
+                    repeat_flag = Some(n);
+                    i += 2;
+                }
+                _ => {
+                    eprintln!("td perf: --repeat needs an integer >= 1");
+                    return 2;
+                }
+            },
             // `--size` is the one-shot knob of bench/churn; perf sweeps a
             // ladder, so steer the caller instead of silently accepting it.
             "--size" => {
@@ -564,6 +580,7 @@ fn cmd_perf(args: &[String]) -> i32 {
     cfg.threads = flags.threads;
     cfg.shards = flags.shards;
     cfg.seed = flags.seed;
+    cfg.repeat = repeat_flag.unwrap_or(if cfg.quick { 1 } else { cfg.repeat });
     // `size` means different things per scenario (nodes, side, servers…):
     // one list applied to every ladder would build absurd instances
     // (a 131072×131072 torus). Overriding sizes requires naming the
@@ -601,6 +618,12 @@ fn cmd_perf(args: &[String]) -> i32 {
             println!(
                 "sparse speedup ({}, sharded(1,1) vs sequential): {x:.2}x",
                 sc.name
+            );
+        }
+        if let Some(x) = report.parallel_speedup(sc.name) {
+            println!(
+                "parallel speedup ({}, parallel({}) vs sequential): {x:.2}x",
+                sc.name, report.threads
             );
         }
     }

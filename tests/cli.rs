@@ -355,6 +355,9 @@ fn perf_flag_validation_is_uniform() {
         vec!["perf", "--sizes", "64"],
         vec!["perf", "--out"],
         vec!["perf", "--size", "4"],
+        vec!["perf", "--repeat", "0"],
+        vec!["perf", "--repeat", "garbage"],
+        vec!["perf", "--repeat"],
         vec!["perf", "--bogus"],
     ] {
         let out = Command::new(BIN).args(&bad).output().unwrap();
@@ -398,6 +401,8 @@ fn perf_writes_versioned_json_report() {
             "2",
             "--shards",
             "2",
+            "--repeat",
+            "2",
             "--out",
             out_str,
         ],
@@ -409,9 +414,13 @@ fn perf_writes_versioned_json_report() {
     let json = std::fs::read_to_string(&out_path).expect("report written");
     std::fs::remove_file(&out_path).ok();
     assert!(json.contains("\"schema\":\"td-perf/v1\""), "{json}");
+    assert!(json.contains("\"bench\":6"), "{json}");
     assert!(json.contains("\"sparse_skips\""), "{json}");
     assert!(json.contains("\"executor\":\"sharded(1,1)\""), "{json}");
+    assert!(json.contains("\"executor\":\"parallel(2)\""), "{json}");
     assert!(json.contains("\"curve\""), "{json}");
+    // The seq-vs-parallel speedup column of the committed benchmark.
+    assert!(json.contains("\"parallel_speedup_drain-wave\""), "{json}");
 }
 
 #[test]

@@ -6,9 +6,10 @@
 //! * verifier acceptance (rules 1–3 + dynamics, orientation stability,
 //!   assignment stability / k-boundedness — after every churn event on
 //!   live traces),
-//! * bit-identical outputs, rounds, and message counts across sequential,
-//!   strided-parallel, and sharded executors (and incremental repair vs
-//!   full recompute on churn traces),
+//! * bit-identical outputs, rounds, and message counts across the
+//!   sequential executor and the pinned-worker engine (`parallel(T)` and
+//!   explicit shard grids; incremental repair vs full recompute on churn
+//!   traces),
 //! * metamorphic relabeling invariance (a seeded node relabeling still
 //!   verifies, with label-invariant structure preserved), and
 //! * seed-independent structural stats of the generator itself.

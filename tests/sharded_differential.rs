@@ -1,9 +1,9 @@
-//! Differential testing of the sharded executor: for every registry
-//! scenario and a sample of churn traces, the sharded executor
-//! (locality-aware partition, per-shard arenas, batched boundary delivery)
-//! must be **bit-identical** to the sequential and strided-parallel
-//! executors — same outputs, same round counts, same message counts — over
-//! the whole shard × thread grid.
+//! Differential testing of the pinned-worker sharded engine: for every
+//! registry scenario and a sample of churn traces, the engine
+//! (locality-aware partition, worker-owned arenas, SPSC boundary rings,
+//! epoch protocol) must be **bit-identical** to the sequential executor —
+//! same outputs, same round counts, same message counts — over the whole
+//! shard × thread grid, including the `parallel(T)` auto-shard alias.
 //!
 //! This is the contract that makes `Simulator::sharded(s, t)` (and the
 //! churn engines' `with_shards`) a pure performance knob, exactly like the
@@ -22,7 +22,7 @@ use token_dropping::orient::repair::OrientChurnEngine;
 use token_dropping::orient::Orientation;
 
 const SHARDS: [usize; 4] = [1, 2, 4, 8];
-const THREADS: [usize; 3] = [1, 2, 4];
+const THREADS: [usize; 4] = [1, 2, 4, 8];
 
 fn small_size(kind: ScenarioKind, name: &str) -> u32 {
     match kind {
@@ -41,17 +41,23 @@ fn small_size(kind: ScenarioKind, name: &str) -> u32 {
 }
 
 /// Every registry scenario reports identical rounds and message counts
-/// under sequential, strided-parallel, and every (shards × threads) grid
-/// point of the sharded executor. Each run also self-verifies its output
-/// (stability, rules 1-3, k-boundedness) inside `Scenario::run`.
+/// under sequential, the `parallel(T)` auto-shard alias, and every
+/// (shards × threads) grid point of the engine. Each run also
+/// self-verifies its output (stability, rules 1-3, k-boundedness) inside
+/// `Scenario::run`.
 #[test]
 fn registry_scenarios_identical_across_executors() {
     for sc in registry() {
         let size = small_size(sc.kind(), sc.name());
         let seq = sc.run(size, 42, &Simulator::sequential());
         let par = sc.run(size, 42, &Simulator::parallel(3));
-        assert_eq!(seq.rounds, par.rounds, "{} strided rounds", sc.name());
-        assert_eq!(seq.messages, par.messages, "{} strided messages", sc.name());
+        assert_eq!(seq.rounds, par.rounds, "{} parallel rounds", sc.name());
+        assert_eq!(
+            seq.messages,
+            par.messages,
+            "{} parallel messages",
+            sc.name()
+        );
         for &s in &SHARDS {
             for &t in &THREADS {
                 let sh = sc.run(size, 42, &Simulator::sharded(s, t));
