@@ -427,6 +427,10 @@ pub struct AssignChurnEngine {
     threads: usize,
     shards: usize,
     max_rounds: u32,
+    stamp_horizon: Option<u32>,
+    /// Work counters of sims retired by membership rebuilds (the live sim's
+    /// share is read on demand; see [`AssignChurnEngine::exec_perf`]).
+    perf_retired: td_local::ExecPerf,
 }
 
 impl AssignChurnEngine {
@@ -457,6 +461,8 @@ impl AssignChurnEngine {
             threads: 1,
             shards: 1,
             max_rounds: 10_000_000,
+            stamp_horizon: None,
+            perf_retired: td_local::ExecPerf::default(),
         }
     }
 
@@ -480,6 +486,24 @@ impl AssignChurnEngine {
     pub fn with_max_rounds(mut self, max_rounds: u32) -> Self {
         self.max_rounds = max_rounds;
         self
+    }
+
+    /// Lowers the stamp-renormalization horizon of the underlying sim (and
+    /// of every sim this engine rebuilds on membership churn) — a test hook
+    /// for crossing the wrap point quickly; see
+    /// [`ChurnSim::set_stamp_horizon`].
+    pub fn with_stamp_horizon(mut self, horizon: u32) -> Self {
+        self.stamp_horizon = Some(horizon);
+        self.sim.set_stamp_horizon(horizon);
+        self
+    }
+
+    /// Lifetime [`td_local::ExecPerf`] work counters over every repair this
+    /// engine has run, including sims retired by membership rebuilds.
+    pub fn exec_perf(&self) -> td_local::ExecPerf {
+        let mut p = self.perf_retired;
+        p.absorb(self.sim.exec_perf());
+        p
     }
 
     fn num_servers(&self) -> usize {
@@ -539,13 +563,19 @@ impl AssignChurnEngine {
                 }
             })
             .collect();
-        ChurnSim::new(graph, &inputs)
+        let mut sim = ChurnSim::new(graph, &inputs);
+        // round % PHASES picks the phase; split_role reads cycle % 2 and
+        // (cycle / 2) % bits — jointly periodic in 2 · bits cycles. Declared
+        // so stamp renormalization can never disturb the role schedule.
+        sim.set_round_period(PHASES * 2 * bits);
+        sim
     }
 
     fn rebuild(&mut self) {
         self.alive = (0..self.customers.len() as u32)
             .filter(|&c| self.customers[c as usize].is_some())
             .collect();
+        self.perf_retired.absorb(self.sim.exec_perf());
         self.sim = Self::build_sim(
             &self.customers,
             &self.available,
@@ -553,6 +583,9 @@ impl AssignChurnEngine {
             &self.alive,
             self.num_servers(),
         );
+        if let Some(h) = self.stamp_horizon {
+            self.sim.set_stamp_horizon(h);
+        }
     }
 
     fn wake_dirty(&mut self, dirty: &[NodeId]) {

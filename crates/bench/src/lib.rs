@@ -1,6 +1,7 @@
 //! Shared harness code for the reproduction experiments: the [`scenario`]
 //! registry (named workloads behind one interface), the parametric
 //! [`spec`] workload generator suite plus its differential [`fuzz`] plane,
+//! the long-running [`serve`] daemon with its open-loop load generator,
 //! workload builders with controlled (Δ, L, C, S) parameters, aligned
 //! table printing, and growth-rate fitting for the shape checks in
 //! EXPERIMENTS.md.
@@ -15,11 +16,13 @@ pub mod churn;
 pub mod fuzz;
 pub mod perf;
 pub mod scenario;
+pub mod serve;
 pub mod spec;
 
 pub use churn::{ChurnReport, ChurnScenario};
 pub use perf::{PerfPoint, PerfReport, SweepConfig};
 pub use scenario::{Scenario, ScenarioKind, ScenarioReport};
+pub use serve::{ServeConfig, ServeReport};
 pub use spec::{FamilyKind, WorkloadInstance, WorkloadSpec};
 
 /// Workload builders with controlled parameters.

@@ -95,6 +95,39 @@ impl<M: Default + Send> MessageArena<M> {
         self.bufs[0].len()
     }
 
+    /// Rebases the arena's stamps so a long-lived simulation can reset its
+    /// monotonic round counter without losing in-flight messages.
+    ///
+    /// Messages addressed to round `live_round` (stamped `live_round`, in
+    /// the buffer read at that round) are re-stamped to `new_round`; every
+    /// other slot — necessarily stale — is cleared to [`STAMP_EMPTY`]. The
+    /// caller then continues running from `new_round`, which must have the
+    /// same parity as `live_round` so the preserved messages stay in the
+    /// buffer the next epoch reads.
+    ///
+    /// This is the wraparound escape hatch for persistent executors (the
+    /// churn plane's round counter is monotonic across repairs, so a daemon
+    /// that never rebuilds its arena would eventually collide with the
+    /// reserved [`STAMP_EMPTY`] stamp): an O(slots) scrub, amortized over
+    /// the billions of rounds between renormalizations.
+    pub fn renormalize(&mut self, live_round: u32, new_round: u32) {
+        assert_eq!(
+            live_round % 2,
+            new_round % 2,
+            "renormalization must preserve buffer parity"
+        );
+        let live_buf = (live_round % 2) as usize;
+        for (b, buf) in self.bufs.iter_mut().enumerate() {
+            for slot in buf.as_mut_slice() {
+                slot.stamp = if b == live_buf && slot.stamp == live_round {
+                    new_round
+                } else {
+                    STAMP_EMPTY
+                };
+            }
+        }
+    }
+
     /// The read/write views of round `round`. This *is* the buffer swap:
     /// advancing the round flips which buffer is read and which is written —
     /// no data moves, no clear pass runs.
@@ -257,6 +290,34 @@ mod tests {
             .map(|(i, s)| (i, s.msg))
             .collect();
         assert_eq!(hits, vec![(1, 10), (3, 30)]);
+    }
+
+    #[test]
+    fn renormalize_preserves_in_flight_and_clears_stale() {
+        let mut arena: MessageArena<u16> = MessageArena::with_slots(4);
+        // A stale message from an old round…
+        let (_, w) = arena.epoch(96);
+        unsafe { w.write(0, 11) };
+        // …and an in-flight one addressed to round 101 (written in 100).
+        let (_, w) = arena.epoch(100);
+        unsafe { w.write(2, 77) };
+        // Rebase round 101 -> 1 (same parity).
+        arena.renormalize(101, 1);
+        let (r, _) = arena.epoch(1);
+        unsafe {
+            assert_eq!(r.get(2), Some(&77), "in-flight message survives");
+            assert_eq!(r.get(0), None, "stale slot cleared");
+        }
+        // The stale slot must not resurface at its old stamp either.
+        let (r97, _) = arena.epoch(97);
+        unsafe { assert_eq!(r97.get(0), None) };
+    }
+
+    #[test]
+    #[should_panic(expected = "parity")]
+    fn renormalize_rejects_parity_flip() {
+        let mut arena: MessageArena<u8> = MessageArena::with_slots(1);
+        arena.renormalize(5, 0);
     }
 
     #[test]

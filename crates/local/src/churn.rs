@@ -40,6 +40,7 @@
 //! `tests/churn_differential.rs` enforce this across 1/2/4/8 threads.
 
 use crate::arena::MessageArena;
+use crate::metrics::ExecPerf;
 use crate::protocol::{Inbox, NodeInit, Outbox, Protocol, RoundCtx, RouteRef, Status};
 use crate::shard::{BatchQueues, SendPtr, ShardPlane, ShardRoute};
 use parking_lot::Mutex;
@@ -294,6 +295,14 @@ pub struct ChurnSim<P: Protocol> {
     arena: MessageArena<P::Message>,
     wake: WakeSet,
     round: u32,
+    /// When `round + max_rounds` would reach this value, the stamps are
+    /// renormalized before the run (see [`ChurnSim::set_stamp_horizon`]).
+    /// Defaults to `u32::MAX - 1`, the arena's reserved-stamp boundary.
+    stamp_horizon: u32,
+    /// The protocol's behavioral period in `ctx.round` (see
+    /// [`ChurnSim::set_round_period`]); renormalization rebases the round
+    /// counter by a multiple of `lcm(2, round_period)`.
+    round_period: u32,
     /// Lazily built sharded message plane (see [`ChurnSim::run_sharded`]).
     sharded: Option<ShardState<P::Message>>,
     /// Which message plane holds undelivered messages after a round-capped
@@ -301,6 +310,9 @@ pub struct ChurnSim<P: Protocol> {
     /// `k`-sharded plane. Switching planes mid-flight would lose them, so
     /// the runners assert against it.
     in_flight: Option<usize>,
+    /// Lifetime work counters across every repair run (see
+    /// [`ChurnSim::exec_perf`]).
+    perf: ExecPerf,
 }
 
 /// The sharded message plane of a [`ChurnSim`], cached across repair runs
@@ -338,8 +350,11 @@ impl<P: Protocol> ChurnSim<P> {
             arena,
             wake: WakeSet::new(n),
             round: 0,
+            stamp_horizon: u32::MAX - 1,
+            round_period: 1,
             sharded: None,
             in_flight: None,
+            perf: ExecPerf::default(),
         }
     }
 
@@ -370,19 +385,110 @@ impl<P: Protocol> ChurnSim<P> {
         }
     }
 
-    /// The monotonic round counter (diagnostics; persists across repairs).
+    /// The monotonic round counter (diagnostics; persists across repairs —
+    /// and is *rebased* toward zero when it approaches the stamp horizon,
+    /// see [`ChurnSim::set_stamp_horizon`]).
     pub fn round(&self) -> u32 {
         self.round
+    }
+
+    /// Lowers the stamp-renormalization horizon (default: `u32::MAX - 1`,
+    /// the arena's reserved-stamp boundary).
+    ///
+    /// The round counter is monotonic across repairs so the arena's stale
+    /// stamps stay invalid for free — but a *long-running* instance (the
+    /// `td serve` daemon) would eventually drive it into the reserved
+    /// `u32::MAX` stamp. Instead of asserting, the runners now renormalize
+    /// when `round + max_rounds` would reach the horizon: in-flight
+    /// messages are re-stamped relative to a rebased round counter and
+    /// every stale slot is scrubbed, after which behavior is bit-identical
+    /// to a sim whose counter never wrapped. Tests lower the horizon to
+    /// cross it in milliseconds instead of centuries.
+    pub fn set_stamp_horizon(&mut self, horizon: u32) {
+        assert!(horizon >= 4, "horizon must leave room to execute rounds");
+        assert!(
+            horizon < u32::MAX,
+            "stamps reserve u32::MAX; the horizon cannot exceed u32::MAX - 1"
+        );
+        self.stamp_horizon = horizon;
+    }
+
+    /// Declares the protocol's behavioral period in `ctx.round`: the
+    /// smallest `p` such that the protocol behaves identically at rounds
+    /// `r` and `r + p` (e.g. `phases × role-split period` for the repair
+    /// protocols). Renormalization rebases the round counter by a multiple
+    /// of `lcm(2, p)` — a multiple of 2 for the arena's buffer parity, a
+    /// multiple of `p` so phase-aligned protocols cannot observe the
+    /// rebase. Defaults to 1 (round-agnostic protocol).
+    pub fn set_round_period(&mut self, period: u32) {
+        assert!(period >= 1, "a protocol's round period is at least 1");
+        self.round_period = period;
+    }
+
+    /// Renormalizes the round counter and every message plane if `round +
+    /// max_rounds` could reach the stamp horizon. The rebased counter keeps
+    /// the old one's residue mod `lcm(2, round_period)`: parity keeps
+    /// in-flight messages (stamped exactly `round` after a capped run) in
+    /// the buffer the next epoch reads, the protocol period keeps
+    /// phase-aligned protocols oblivious. All other stamps are necessarily
+    /// stale and are scrubbed on *every* plane (the cached sharded plane
+    /// persists across runs, so a stale stamp left there could collide with
+    /// a reused round number later).
+    fn ensure_stamp_headroom(&mut self, max_rounds: u32) {
+        if (self.round as u64) + (max_rounds as u64) < self.stamp_horizon as u64 {
+            return;
+        }
+        let modulus = if self.round_period.is_multiple_of(2) {
+            self.round_period
+        } else {
+            self.round_period * 2
+        };
+        let old = self.round;
+        let new = old % modulus;
+        self.arena.renormalize(old, new);
+        if let Some(st) = self.sharded.as_mut() {
+            for arena in st.plane.arenas_mut() {
+                arena.renormalize(old, new);
+            }
+        }
+        self.round = new;
+        assert!(
+            (self.round as u64) + (max_rounds as u64) < self.stamp_horizon as u64,
+            "a single run's round budget ({max_rounds}) plus the rebased counter ({new}) \
+             exceeds the stamp horizon ({})",
+            self.stamp_horizon
+        );
+    }
+
+    /// Lifetime [`ExecPerf`] work counters, accumulated over every repair
+    /// run of this sim (both planes, any thread count).
+    ///
+    /// The churn plane is wake-scheduled — halted residents are never
+    /// visited, let alone scanned — so `halted_scans` is 0 by construction
+    /// and `sparse_skips` counts the resident-rounds the wake sets skipped.
+    /// On the flat plane every delivery is a direct arena write
+    /// (`local_messages`); on the sharded plane cross-shard sends ride the
+    /// batched boundary queues (`boundary_messages`).
+    pub fn exec_perf(&self) -> ExecPerf {
+        self.perf
+    }
+
+    /// Folds a finished run's [`RepairStats`] into the lifetime counters.
+    /// `boundary` is the portion of `stats.messages` that crossed shard
+    /// boundaries (0 on the flat plane).
+    fn absorb_run_perf(&mut self, stats: &RepairStats, boundary: u64) {
+        self.perf.node_rounds += stats.node_steps;
+        self.perf.local_messages += stats.messages - boundary;
+        self.perf.boundary_messages += boundary;
+        self.perf.sparse_skips +=
+            (stats.rounds as u64) * (self.graph.num_nodes() as u64) - stats.node_steps;
     }
 
     /// Runs until quiescence (no node awake, no message in flight) or until
     /// `max_rounds` additional rounds have executed. `threads <= 1` runs
     /// sequentially; outputs are identical either way.
     pub fn run(&mut self, threads: usize, max_rounds: u32) -> RepairStats {
-        assert!(
-            (self.round as u64) + (max_rounds as u64) < (u32::MAX - 1) as u64,
-            "round counter would collide with the arena's reserved stamp"
-        );
+        self.ensure_stamp_headroom(max_rounds);
         assert!(
             self.in_flight.is_none_or(|k| k == 0),
             "a capped sharded run left messages in flight; resume with run_sharded"
@@ -392,6 +498,7 @@ impl<P: Protocol> ChurnSim<P> {
         } else {
             self.run_parallel(threads, max_rounds)
         };
+        self.absorb_run_perf(&stats, 0);
         self.in_flight = (!stats.completed).then_some(0);
         stats
     }
@@ -413,10 +520,7 @@ impl<P: Protocol> ChurnSim<P> {
         if shards == 1 {
             return self.run(threads, max_rounds);
         }
-        assert!(
-            (self.round as u64) + (max_rounds as u64) < (u32::MAX - 1) as u64,
-            "round counter would collide with the arena's reserved stamp"
-        );
+        self.ensure_stamp_headroom(max_rounds);
         assert!(
             self.in_flight.is_none_or(|k| k == shards),
             "a capped run left messages in flight on a different message plane"
@@ -436,22 +540,27 @@ impl<P: Protocol> ChurnSim<P> {
         }
         // Move the plane out so stepping can borrow `self` mutably.
         let st = self.sharded.take().expect("just built");
-        let stats = if threads <= 1 {
+        let (stats, boundary) = if threads <= 1 {
             self.run_sharded_sequential(&st, max_rounds)
         } else {
             self.run_sharded_parallel(&st, threads, max_rounds)
         };
         self.sharded = Some(st);
+        self.absorb_run_perf(&stats, boundary);
         self.in_flight = (!stats.completed).then_some(shards);
         stats
     }
 
+    /// Returns the run's stats plus the number of messages that crossed a
+    /// shard boundary (for the [`ExecPerf`] local/boundary split).
     fn run_sharded_sequential(
         &mut self,
         st: &ShardState<P::Message>,
         max_rounds: u32,
-    ) -> RepairStats {
+    ) -> (RepairStats, u64) {
         let mut stats = RepairStats::accumulator();
+        let mut boundary: u64 = 0;
+        let mut stamps: u64 = 0;
         loop {
             let awake = self.wake.drain_sorted();
             if awake.is_empty() {
@@ -492,8 +601,10 @@ impl<P: Protocol> ChurnSim<P> {
                     wake: Some(&self.wake),
                     route: Some(RouteRef::Batched(&route)),
                 };
+                stamps += inbox.degree as u64;
                 let status = self.states[v as usize].round(&ctx, &inbox, &mut outbox);
                 stats.messages += outbox.sent;
+                boundary += outbox.boundary_sent;
                 if status == Status::Continue {
                     self.wake.mark(node);
                 }
@@ -508,15 +619,18 @@ impl<P: Protocol> ChurnSim<P> {
             self.round += 1;
             stats.rounds += 1;
         }
-        stats
+        self.perf.stamp_scans += stamps;
+        (stats, boundary)
     }
 
+    /// Returns the run's stats plus the number of messages that crossed a
+    /// shard boundary (for the [`ExecPerf`] local/boundary split).
     fn run_sharded_parallel(
         &mut self,
         st: &ShardState<P::Message>,
         threads: usize,
         max_rounds: u32,
-    ) -> RepairStats {
+    ) -> (RepairStats, u64) {
         let threads = threads.min(st.part.num_shards()).max(1);
         let graph = &self.graph;
         let wake = &self.wake;
@@ -529,13 +643,16 @@ impl<P: Protocol> ChurnSim<P> {
             for &v in &first {
                 self.wake.mark(NodeId(v));
             }
-            return RepairStats {
-                completed: !pending,
-                ..RepairStats::accumulator()
-            };
+            return (
+                RepairStats {
+                    completed: !pending,
+                    ..RepairStats::accumulator()
+                },
+                0,
+            );
         }
         if first.is_empty() {
-            return RepairStats::accumulator();
+            return (RepairStats::accumulator(), 0);
         }
         let awake: Mutex<Vec<u32>> = Mutex::new(first);
         let pending: Mutex<Vec<u32>> = Mutex::new(Vec::new());
@@ -543,6 +660,8 @@ impl<P: Protocol> ChurnSim<P> {
         let stop = AtomicBool::new(false);
         let completed = AtomicBool::new(true);
         let messages = AtomicU64::new(0);
+        let boundary = AtomicU64::new(0);
+        let stamps = AtomicU64::new(0);
         let node_steps = AtomicU64::new(0);
         let rounds_done = AtomicU32::new(0);
         let base_round = self.round;
@@ -555,6 +674,8 @@ impl<P: Protocol> ChurnSim<P> {
                 let stop = &stop;
                 let completed = &completed;
                 let messages = &messages;
+                let boundary = &boundary;
+                let stamps = &stamps;
                 let node_steps = &node_steps;
                 let rounds_done = &rounds_done;
                 let states_ptr = &states_ptr;
@@ -577,6 +698,8 @@ impl<P: Protocol> ChurnSim<P> {
                         }
                         let ctx = RoundCtx { round };
                         let mut local_msgs: u64 = 0;
+                        let mut local_boundary: u64 = 0;
+                        let mut local_stamps: u64 = 0;
                         for &v in &mine {
                             let node = NodeId(v);
                             let sh = st.part.shard_of(node) as usize;
@@ -605,14 +728,18 @@ impl<P: Protocol> ChurnSim<P> {
                             // SAFETY: the shard partition gives each awake
                             // node to exactly one worker, so this &mut does
                             // not alias; barriers separate the rounds.
+                            local_stamps += inbox.degree as u64;
                             let state = unsafe { &mut *states_ptr.0.add(v as usize) };
                             let status = state.round(&ctx, &inbox, &mut outbox);
                             local_msgs += outbox.sent;
+                            local_boundary += outbox.boundary_sent;
                             if status == Status::Continue {
                                 wake.mark(node);
                             }
                         }
                         messages.fetch_add(local_msgs, Ordering::Relaxed);
+                        boundary.fetch_add(local_boundary, Ordering::Relaxed);
+                        stamps.fetch_add(local_stamps, Ordering::Relaxed);
                         // (a) all sends, wake marks and queue appends done.
                         barrier.wait();
                         if w == 0 {
@@ -670,16 +797,21 @@ impl<P: Protocol> ChurnSim<P> {
 
         let rounds = rounds_done.load(Ordering::Relaxed);
         self.round += rounds;
-        RepairStats {
-            rounds,
-            messages: messages.load(Ordering::Relaxed),
-            node_steps: node_steps.load(Ordering::Relaxed),
-            completed: completed.load(Ordering::Relaxed),
-        }
+        self.perf.stamp_scans += stamps.load(Ordering::Relaxed);
+        (
+            RepairStats {
+                rounds,
+                messages: messages.load(Ordering::Relaxed),
+                node_steps: node_steps.load(Ordering::Relaxed),
+                completed: completed.load(Ordering::Relaxed),
+            },
+            boundary.load(Ordering::Relaxed),
+        )
     }
 
     fn run_sequential(&mut self, max_rounds: u32) -> RepairStats {
         let mut stats = RepairStats::accumulator();
+        let mut stamps: u64 = 0;
         loop {
             let awake = self.wake.drain_sorted();
             if awake.is_empty() {
@@ -712,6 +844,7 @@ impl<P: Protocol> ChurnSim<P> {
                     wake: Some(&self.wake),
                     route: None,
                 };
+                stamps += inbox.degree as u64;
                 let status = self.states[v as usize].round(&ctx, &inbox, &mut outbox);
                 stats.messages += outbox.sent;
                 if status == Status::Continue {
@@ -721,6 +854,7 @@ impl<P: Protocol> ChurnSim<P> {
             self.round += 1;
             stats.rounds += 1;
         }
+        self.perf.stamp_scans += stamps;
         stats
     }
 
@@ -753,6 +887,7 @@ impl<P: Protocol> ChurnSim<P> {
         let stop = AtomicBool::new(false);
         let completed = AtomicBool::new(true);
         let messages = AtomicU64::new(0);
+        let stamps = AtomicU64::new(0);
         let node_steps = AtomicU64::new(0);
         let rounds_done = AtomicU32::new(0);
         let base_round = self.round;
@@ -768,6 +903,7 @@ impl<P: Protocol> ChurnSim<P> {
                 let stop = &stop;
                 let completed = &completed;
                 let messages = &messages;
+                let stamps = &stamps;
                 let node_steps = &node_steps;
                 let rounds_done = &rounds_done;
                 let states_ptr = &states_ptr;
@@ -783,6 +919,7 @@ impl<P: Protocol> ChurnSim<P> {
                         let (reader, writer) = arena.epoch(round);
                         let ctx = RoundCtx { round };
                         let mut local_msgs: u64 = 0;
+                        let mut local_stamps: u64 = 0;
                         for &v in &mine {
                             let node = NodeId(v);
                             let inbox = Inbox {
@@ -802,6 +939,7 @@ impl<P: Protocol> ChurnSim<P> {
                             // SAFETY: the strided partition gives each awake
                             // node to exactly one worker, so this &mut does
                             // not alias; barriers separate the rounds.
+                            local_stamps += inbox.degree as u64;
                             let state = unsafe { &mut *states_ptr.0.add(v as usize) };
                             let status = state.round(&ctx, &inbox, &mut outbox);
                             local_msgs += outbox.sent;
@@ -810,6 +948,7 @@ impl<P: Protocol> ChurnSim<P> {
                             }
                         }
                         messages.fetch_add(local_msgs, Ordering::Relaxed);
+                        stamps.fetch_add(local_stamps, Ordering::Relaxed);
                         // (a) all sends and wake marks for this round done.
                         barrier.wait();
                         if w == 0 {
@@ -844,6 +983,7 @@ impl<P: Protocol> ChurnSim<P> {
 
         let rounds = rounds_done.load(Ordering::Relaxed);
         self.round += rounds;
+        self.perf.stamp_scans += stamps.load(Ordering::Relaxed);
         RepairStats {
             rounds,
             messages: messages.load(Ordering::Relaxed),
@@ -1266,6 +1406,156 @@ mod tests {
         // Undelivered messages live in the 4-shard plane; the flat
         // executor must refuse.
         let _ = sim.run(1, 10_000);
+    }
+
+    /// The lifetime work counters are exact: node-rounds and messages match
+    /// the run's [`RepairStats`], the local/boundary split sums to the
+    /// message total, and the wake-based scheduler reports zero halted
+    /// scans on either plane.
+    #[test]
+    fn exec_perf_counters_are_exact_and_plane_attributed() {
+        let g = path(16);
+        let mut inputs = vec![0u64; 16];
+        inputs[0] = 9;
+        let mut flat: ChurnSim<MaxHold> = ChurnSim::new(g.clone(), &inputs);
+        flat.state_mut(NodeId(0)).dirty = true;
+        flat.wake(NodeId(0));
+        let a = flat.run(1, 10_000);
+        let pf = flat.exec_perf();
+        assert_eq!(pf.node_rounds, a.node_steps);
+        assert_eq!(pf.local_messages, a.messages);
+        assert_eq!(pf.boundary_messages, 0);
+        assert_eq!(pf.halted_scans, 0);
+        assert_eq!(pf.sparse_skips, (a.rounds as u64) * 16 - a.node_steps);
+        assert!(pf.stamp_scans > 0);
+        let mut sh: ChurnSim<MaxHold> = ChurnSim::new(g, &inputs);
+        sh.state_mut(NodeId(0)).dirty = true;
+        sh.wake(NodeId(0));
+        let b = sh.run_sharded(4, 2, 10_000);
+        let ps = sh.exec_perf();
+        assert_eq!(ps.node_rounds, b.node_steps);
+        assert_eq!(ps.local_messages + ps.boundary_messages, b.messages);
+        assert!(ps.boundary_messages > 0, "the flood crosses shard borders");
+        assert_eq!(ps.halted_scans, 0);
+        // Bit-identical trace ⇒ the same nodes were stepped ⇒ the same
+        // inbox stamps were exposed, plane notwithstanding.
+        assert_eq!(ps.stamp_scans, pf.stamp_scans);
+    }
+
+    /// Repeated repairs across an artificially-lowered stamp horizon: the
+    /// round counter is renormalized mid-lifecycle (where the old code
+    /// asserted), and every repair's stats and final state stay
+    /// bit-identical to a twin sim whose counter never crosses it.
+    #[test]
+    fn lowered_horizon_renormalization_is_bit_identical() {
+        let g = path(12);
+        let mut wrap: ChurnSim<MaxHold> = ChurnSim::new(g.clone(), &[0u64; 12]);
+        wrap.set_stamp_horizon(40);
+        let mut ctl: ChurnSim<MaxHold> = ChurnSim::new(g, &[0u64; 12]);
+        for rep in 1..=20u64 {
+            let src = NodeId(((rep as usize * 5) % 12) as u32);
+            for sim in [&mut wrap, &mut ctl] {
+                sim.state_mut(src).best = rep * 10;
+                sim.state_mut(src).dirty = true;
+                sim.wake(src);
+            }
+            let a = wrap.run(1, 32);
+            let b = ctl.run(1, 32);
+            assert_eq!(a, b, "repair {rep}");
+            assert!(a.completed, "repair {rep}");
+            for v in 0..12 {
+                assert_eq!(
+                    wrap.states()[v].best,
+                    ctl.states()[v].best,
+                    "repair {rep} node {v}"
+                );
+            }
+        }
+        // The control's monotonic counter crossed the lowered horizon — the
+        // exact point where the pre-fix assert fired — while the wrapping
+        // sim was rebased back below it.
+        assert!(ctl.round() >= 40, "control round {}", ctl.round());
+        assert!(wrap.round() < 40, "wrap round {}", wrap.round());
+    }
+
+    /// Same lifecycle on the sharded plane: the cached shard arenas persist
+    /// across runs, so renormalization must scrub them too or a stale stamp
+    /// could collide with a reused round number.
+    #[test]
+    fn sharded_plane_survives_stamp_renormalization() {
+        let g = path(16);
+        let mut wrap: ChurnSim<MaxHold> = ChurnSim::new(g.clone(), &[0u64; 16]);
+        wrap.set_stamp_horizon(48);
+        let mut ctl: ChurnSim<MaxHold> = ChurnSim::new(g, &[0u64; 16]);
+        for rep in 1..=12u64 {
+            let src = NodeId(((rep as usize * 7) % 16) as u32);
+            for sim in [&mut wrap, &mut ctl] {
+                sim.state_mut(src).best = rep * 10;
+                sim.state_mut(src).dirty = true;
+                sim.wake(src);
+            }
+            let a = wrap.run_sharded(4, 2, 40);
+            let b = ctl.run_sharded(4, 2, 40);
+            assert_eq!(a, b, "repair {rep}");
+            assert!(a.completed, "repair {rep}");
+        }
+        for v in 0..16 {
+            assert_eq!(wrap.states()[v].best, ctl.states()[v].best, "node {v}");
+        }
+        assert!(ctl.round() >= 48, "control round {}", ctl.round());
+        assert!(wrap.round() < 48, "wrap round {}", wrap.round());
+    }
+
+    /// Renormalization with messages in flight: a capped run leaves the
+    /// flood's frontier undelivered, stamped with the break-point round;
+    /// the rebase re-stamps it (parity preserved) so the resumed run
+    /// delivers it exactly as a never-rebased twin does.
+    #[test]
+    fn renormalization_preserves_in_flight_messages() {
+        for sharded in [false, true] {
+            let run = |sim: &mut ChurnSim<MaxHold>, cap: u32| {
+                if sharded {
+                    sim.run_sharded(4, 1, cap)
+                } else {
+                    sim.run(1, cap)
+                }
+            };
+            let g = path(30);
+            let mut inputs = vec![0u64; 30];
+            inputs[0] = 9;
+            let mut wrap: ChurnSim<MaxHold> = ChurnSim::new(g.clone(), &inputs);
+            let mut ctl: ChurnSim<MaxHold> = ChurnSim::new(g, &inputs);
+            for sim in [&mut wrap, &mut ctl] {
+                sim.state_mut(NodeId(0)).dirty = true;
+                sim.wake(NodeId(0));
+                let first = run(sim, 5);
+                assert!(!first.completed, "sharded {sharded}");
+            }
+            // Only the resumed run crosses the horizon (5 + 48 >= 50), so
+            // the rebase happens with the frontier message mid-flight.
+            wrap.set_stamp_horizon(50);
+            let a = run(&mut wrap, 48);
+            let b = run(&mut ctl, 48);
+            assert_eq!(a, b, "sharded {sharded}");
+            assert!(a.completed, "sharded {sharded}");
+            for v in 0..30 {
+                assert_eq!(wrap.states()[v].best, 9, "sharded {sharded} node {v}");
+            }
+            // The rebase shows in the counter: wrap resumed from round 1,
+            // the control from round 5, and both ran the same rounds.
+            assert_eq!(wrap.round() + 4, ctl.round(), "sharded {sharded}");
+        }
+    }
+
+    /// A single run whose round budget alone reaches the horizon cannot be
+    /// saved by renormalization and must fail loudly, not wrap silently.
+    #[test]
+    #[should_panic(expected = "exceeds the stamp horizon")]
+    fn round_budget_exceeding_horizon_panics() {
+        let g = path(4);
+        let mut sim: ChurnSim<MaxHold> = ChurnSim::new(g, &[0u64; 4]);
+        sim.set_stamp_horizon(16);
+        let _ = sim.run(1, 1000);
     }
 
     #[test]

@@ -19,7 +19,7 @@
 //!   spawn; no other thread ever writes it. Cross-worker messages travel as
 //!   `(slot, payload)` batches and are written into the destination arena
 //!   by the *destination's own* worker.
-//! * **Per-(src,dst) SPSC boundary queues** ([`crate::spsc::BatchRing`]):
+//! * **Per-(src,dst) SPSC boundary queues** (`spsc::BatchRing`):
 //!   one ring per directed cross-worker shard pair with cut edges. A
 //!   shard's round-`r` boundary traffic toward one destination is one
 //!   batch — one `Vec` swap and one release store, never a per-message
@@ -33,7 +33,7 @@
 //!   guaranteed delivered, because producers push before they publish.
 //!   Distant shards drift many rounds apart; neighbors stay within one
 //!   round of each other, which also bounds every ring to at most two live
-//!   batches ([`crate::spsc::RING_CAP`] proves the headroom).
+//!   batches (`spsc::RING_CAP` proves the headroom).
 //! * **Termination detection without a coordinator.** `Halt` is final
 //!   under the one-shot simulator, so a shard whose active list empties can
 //!   never wake again: it publishes `RETIRED` (which passes every gate),
@@ -163,6 +163,12 @@ impl<M: Default + Send> ShardPlane<M> {
     #[inline(always)]
     pub(crate) fn arena(&self, shard: usize) -> &MessageArena<M> {
         &self.arenas[shard]
+    }
+
+    /// Exclusive access to every shard arena — for the churn plane's stamp
+    /// renormalization, which must scrub all planes between runs.
+    pub(crate) fn arenas_mut(&mut self) -> &mut [MessageArena<M>] {
+        &mut self.arenas
     }
 
     /// The inbox base of node `v` inside its shard's arena.

@@ -294,6 +294,10 @@ pub struct OrientChurnEngine {
     threads: usize,
     shards: usize,
     max_rounds: u32,
+    stamp_horizon: Option<u32>,
+    /// Work counters of sims retired by topology rebuilds (the live sim's
+    /// share is read on demand; see [`OrientChurnEngine::exec_perf`]).
+    perf_retired: td_local::ExecPerf,
 }
 
 impl OrientChurnEngine {
@@ -305,7 +309,7 @@ impl OrientChurnEngine {
             orientation.fully_oriented(),
             "churn engine needs a complete orientation"
         );
-        let sim = ChurnSim::new(graph.clone(), &Self::inputs(&graph, &orientation));
+        let sim = Self::build_sim(&graph, &orientation);
         OrientChurnEngine {
             sim,
             orientation,
@@ -313,6 +317,8 @@ impl OrientChurnEngine {
             threads: 1,
             shards: 1,
             max_rounds: 10_000_000,
+            stamp_horizon: None,
+            perf_retired: td_local::ExecPerf::default(),
         }
     }
 
@@ -336,6 +342,34 @@ impl OrientChurnEngine {
     pub fn with_max_rounds(mut self, max_rounds: u32) -> Self {
         self.max_rounds = max_rounds;
         self
+    }
+
+    /// Lowers the stamp-renormalization horizon of the underlying sim (and
+    /// of every sim this engine rebuilds on topology churn) — a test hook
+    /// for crossing the wrap point quickly; see
+    /// [`ChurnSim::set_stamp_horizon`].
+    pub fn with_stamp_horizon(mut self, horizon: u32) -> Self {
+        self.stamp_horizon = Some(horizon);
+        self.sim.set_stamp_horizon(horizon);
+        self
+    }
+
+    /// Lifetime [`td_local::ExecPerf`] work counters over every repair this
+    /// engine has run, including sims retired by topology rebuilds.
+    pub fn exec_perf(&self) -> td_local::ExecPerf {
+        let mut p = self.perf_retired;
+        p.absorb(self.sim.exec_perf());
+        p
+    }
+
+    /// Builds the repair sim with the protocol's round period declared, so
+    /// stamp renormalization can never disturb the phase/role schedule.
+    fn build_sim(graph: &CsrGraph, orientation: &Orientation) -> ChurnSim<OrientRepairNode> {
+        let mut sim = ChurnSim::new(graph.clone(), &Self::inputs(graph, orientation));
+        // round % PHASES picks the phase; split_role reads cycle % 2 and
+        // (cycle / 2) % bits — jointly periodic in 2 · bits cycles.
+        sim.set_round_period(PHASES * 2 * id_bits(graph.num_nodes()));
+        sim
     }
 
     fn inputs(graph: &CsrGraph, orientation: &Orientation) -> Vec<RepairInput> {
@@ -499,7 +533,11 @@ impl OrientChurnEngine {
             orientation.orient(&graph, e, head);
         }
         self.orientation = orientation;
-        self.sim = ChurnSim::new(graph.clone(), &Self::inputs(&graph, &self.orientation));
+        self.perf_retired.absorb(self.sim.exec_perf());
+        self.sim = Self::build_sim(&graph, &self.orientation);
+        if let Some(h) = self.stamp_horizon {
+            self.sim.set_stamp_horizon(h);
+        }
         self.wake_dirty(dirty);
     }
 

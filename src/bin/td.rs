@@ -16,8 +16,8 @@ use token_dropping::orient::phases::{solve_stable_orientation, PhaseConfig};
 use token_dropping::orient::protocol::run_distributed;
 use token_dropping::prelude::*;
 
-const USAGE: &str =
-    "usage: td <gen|info|orient|game|assign|bench|churn|fuzz|perf> ... (td --help for details)";
+const USAGE: &str = "usage: td <gen|info|orient|game|assign|bench|churn|fuzz|perf|serve> ... \
+     (td --help for details)";
 
 const HELP: &str = "\
 td — distributed token dropping, stable orientations, and semi-matchings
@@ -68,6 +68,17 @@ USAGE:
                                        ladder (the CI smoke); --repeat N
                                        takes min-of-N wall timing per point
                                        (default 3, 1 under --quick)
+  td serve                             list the servable churn families
+  td serve <family> [--size N] [--seed S] [--rate R] [--budget B]
+           [--threads T] [--shards K] [--queue Q] [--out FILE]
+                                       long-running daemon: stream a seeded
+                                       open-loop event mix through a live
+                                       repair engine, then report events/sec
+                                       sustained, the saturation rate (where
+                                       the repair plane falls behind), and
+                                       p50/p99/p999 repair latency; --rate 0
+                                       (the default) emits unpaced, --out
+                                       writes the td-serve/v1 JSON report
   td --help | -h                       this text
 
 FILES:
@@ -80,6 +91,7 @@ EXAMPLES:
   td bench server-farm --size 24 --seed 3
   td churn rolling-restart --events 20 --compare
   td fuzz --budget 64 --seed 7
+  td serve churn-orient --size 48 --rate 2000 --budget 256
 ";
 
 /// Restore the default SIGPIPE disposition. Rust ignores SIGPIPE at
@@ -122,6 +134,7 @@ fn run(args: &[String]) -> i32 {
         Some("churn") => cmd_churn(&args[1..]),
         Some("fuzz") => cmd_fuzz(&args[1..]),
         Some("perf") => cmd_perf(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some(other) => {
             eprintln!("td: unknown subcommand '{other}'");
             eprintln!("{USAGE}");
@@ -641,6 +654,108 @@ fn cmd_perf(args: &[String]) -> i32 {
     0
 }
 
+fn cmd_serve(args: &[String]) -> i32 {
+    use td_bench::serve::{self, ServeConfig};
+    let Some(name) = args.first().map(String::as_str) else {
+        println!("servable churn families:\n");
+        for f in serve::churn_families() {
+            println!("  {f}");
+        }
+        println!("\nrun one with: td serve <family> [--size N] [--seed S] [--rate R] [--budget B]");
+        return 0;
+    };
+    if name.starts_with('-') {
+        eprintln!("td serve: first argument must be a churn family (run td serve for the list)");
+        return 2;
+    }
+    let mut cfg = match ServeConfig::new(name) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("td serve: {e}");
+            return 2;
+        }
+    };
+    // Pre-scan the serve-specific flags; everything else goes through the
+    // shared RunFlags parser so --size/--seed/--threads/--shards keep
+    // exactly the bench/churn validation semantics (exit 2 on garbage).
+    let mut out_path: Option<String> = None;
+    let mut rest: Vec<String> = Vec::new();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--rate" => match args.get(i + 1).and_then(|r| r.parse().ok()) {
+                Some(v) => {
+                    cfg.rate = v;
+                    i += 2;
+                }
+                None => {
+                    eprintln!("td serve: --rate needs an integer (events/sec; 0 = unpaced)");
+                    return 2;
+                }
+            },
+            "--budget" => match args.get(i + 1).and_then(|r| r.parse::<u32>().ok()) {
+                Some(v) if v >= 1 => {
+                    cfg.budget = v;
+                    i += 2;
+                }
+                _ => {
+                    eprintln!("td serve: --budget needs an integer >= 1");
+                    return 2;
+                }
+            },
+            "--queue" => match args.get(i + 1).and_then(|r| r.parse::<usize>().ok()) {
+                Some(v) if v >= 1 => {
+                    cfg.queue = v;
+                    i += 2;
+                }
+                _ => {
+                    eprintln!("td serve: --queue needs an integer >= 1");
+                    return 2;
+                }
+            },
+            "--out" => match args.get(i + 1) {
+                Some(p) => {
+                    out_path = Some(p.clone());
+                    i += 2;
+                }
+                None => {
+                    eprintln!("td serve: --out needs a file path");
+                    return 2;
+                }
+            },
+            _ => {
+                rest.push(args[i].clone());
+                i += 1;
+            }
+        }
+    }
+    let mut flags = RunFlags::new(cfg.spec.size, 0);
+    flags.seed = cfg.spec.seed;
+    if let Err(code) = flags.parse("td serve", &rest, &["--shards"]) {
+        return code;
+    }
+    cfg.spec = cfg.spec.with_size(flags.size).with_seed(flags.seed);
+    cfg.threads = flags.threads;
+    cfg.shards = flags.shards;
+    let report = match serve::serve(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("td serve: {e}");
+            return 1;
+        }
+    };
+    report.summary_table().print();
+    if let Some(path) = out_path {
+        let json = serve::write_json(&report);
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("td serve: cannot write {path}: {e}");
+            return 1;
+        }
+        println!("\n{} report written to {path}", serve::SCHEMA);
+    }
+    0
+}
+
 fn read_input(path: &str) -> String {
     let mut buf = String::new();
     if path == "-" {
@@ -665,69 +780,118 @@ fn load_graph(path: &str) -> CsrGraph {
 }
 
 fn cmd_gen(args: &[String]) -> i32 {
-    let seed_at = |i: usize| -> u64 { args.get(i).and_then(|s| s.parse().ok()).unwrap_or(42) };
-    match args.first().map(String::as_str) {
-        Some("gnm") => {
-            let (n, m) = (args[1].parse().unwrap(), args[2].parse().unwrap());
+    gen_inner(args).unwrap_or_else(|code| code)
+}
+
+/// `td gen` body. Every generator has an exact positional arity: a missing
+/// argument, a trailing extra, or garbage where an integer belongs is a
+/// usage error (exit 2), never a panic or a silent default — a mistyped
+/// seed that quietly fell back to 42 would fake determinism.
+fn gen_inner(args: &[String]) -> Result<i32, i32> {
+    fn arity(sub: &str, rest: &[String], min: usize, max: usize) -> Result<(), i32> {
+        if rest.len() < min {
+            eprintln!("td gen {sub}: missing argument(s); see td --help");
+            return Err(2);
+        }
+        if rest.len() > max {
+            eprintln!("td gen {sub}: unexpected trailing argument '{}'", rest[max]);
+            return Err(2);
+        }
+        Ok(())
+    }
+    fn int<T: std::str::FromStr>(sub: &str, what: &str, raw: &str) -> Result<T, i32> {
+        raw.parse().map_err(|_| {
+            eprintln!("td gen {sub}: {what} must be an integer, got '{raw}'");
+            2
+        })
+    }
+    let Some(sub) = args.first().map(String::as_str) else {
+        eprintln!("usage: td gen <gnm|regular|tree|comb|game> ...");
+        return Err(2);
+    };
+    let rest = &args[1..];
+    let seed_at = |i: usize| -> Result<u64, i32> {
+        match rest.get(i) {
+            Some(raw) => int(sub, "[seed]", raw),
+            None => Ok(42),
+        }
+    };
+    match sub {
+        "gnm" => {
+            arity(sub, rest, 2, 3)?;
+            let n = int(sub, "<n>", &rest[0])?;
+            let m = int(sub, "<m>", &rest[1])?;
             let g = token_dropping::graph::gen::random::gnm(
                 n,
                 m,
-                &mut SmallRng::seed_from_u64(seed_at(3)),
+                &mut SmallRng::seed_from_u64(seed_at(2)?),
             );
             gio::write_edge_list(&g, std::io::stdout().lock()).unwrap();
-            0
+            Ok(0)
         }
-        Some("regular") => {
-            let (n, d) = (args[1].parse().unwrap(), args[2].parse().unwrap());
+        "regular" => {
+            arity(sub, rest, 2, 3)?;
+            let n = int(sub, "<n>", &rest[0])?;
+            let d = int(sub, "<d>", &rest[1])?;
             match token_dropping::graph::gen::random::random_regular(
                 n,
                 d,
-                &mut SmallRng::seed_from_u64(seed_at(3)),
+                &mut SmallRng::seed_from_u64(seed_at(2)?),
                 500,
             ) {
                 Some(g) => {
                     gio::write_edge_list(&g, std::io::stdout().lock()).unwrap();
-                    0
+                    Ok(0)
                 }
                 None => {
                     eprintln!("no simple {d}-regular pairing found");
-                    1
+                    Ok(1)
                 }
             }
         }
-        Some("tree") => {
-            let (d, depth) = (args[1].parse().unwrap(), args[2].parse().unwrap());
+        "tree" => {
+            arity(sub, rest, 2, 2)?;
+            let d = int(sub, "<d>", &rest[0])?;
+            let depth = int(sub, "<depth>", &rest[1])?;
             let (g, _) =
                 token_dropping::graph::gen::structured::perfect_dary_tree(d, depth, 10_000_000);
             gio::write_edge_list(&g, std::io::stdout().lock()).unwrap();
-            0
+            Ok(0)
         }
-        Some("comb") => {
-            let k = args[1].parse().unwrap();
+        "comb" => {
+            arity(sub, rest, 1, 1)?;
+            let k = int(sub, "<k>", &rest[0])?;
             let game = TokenGame::contention_comb(k);
             game_io::write_game(&game, std::io::stdout().lock()).unwrap();
-            0
+            Ok(0)
         }
-        Some("game") => {
+        "game" => {
             // td gen game w1,w2,w3 deg [seed]
-            let widths: Vec<usize> = args[1]
+            arity(sub, rest, 2, 3)?;
+            let widths: Vec<usize> = rest[0]
                 .split(',')
-                .map(|w| w.parse().expect("widths: comma-separated"))
-                .collect();
-            let deg = args[2].parse().unwrap();
+                .map(|w| int(sub, "<w1,w2,..>", w.trim()))
+                .collect::<Result<_, _>>()?;
+            let deg = int(sub, "<deg>", &rest[1])?;
             let game =
-                TokenGame::random(&widths, deg, 0.5, &mut SmallRng::seed_from_u64(seed_at(3)));
+                TokenGame::random(&widths, deg, 0.5, &mut SmallRng::seed_from_u64(seed_at(2)?));
             game_io::write_game(&game, std::io::stdout().lock()).unwrap();
-            0
+            Ok(0)
         }
         _ => {
             eprintln!("usage: td gen <gnm|regular|tree|comb|game> ...");
-            2
+            Err(2)
         }
     }
 }
 
 fn cmd_info(args: &[String]) -> i32 {
+    // One positional (the file, default '-'); extras used to be silently
+    // ignored, hiding e.g. a second file the caller thought was inspected.
+    if args.len() > 1 {
+        eprintln!("td info: unexpected trailing argument '{}'", args[1]);
+        return 2;
+    }
     let g = load_graph(args.first().map(String::as_str).unwrap_or("-"));
     println!("nodes:      {}", g.num_nodes());
     println!("edges:      {}", g.num_edges());
@@ -743,9 +907,26 @@ fn cmd_info(args: &[String]) -> i32 {
 }
 
 fn cmd_orient(args: &[String]) -> i32 {
-    let path = args.first().map(String::as_str).unwrap_or("-");
-    let distributed = args.iter().any(|a| a == "--distributed");
-    let g = load_graph(path);
+    // Strict parse: one optional file plus --distributed. The old scan
+    // (`args.iter().any(..)`) silently ignored every unknown flag, so a
+    // typo like --distribtued ran the wrong (centralized) solver.
+    let mut path: Option<&str> = None;
+    let mut distributed = false;
+    for a in args {
+        match a.as_str() {
+            "--distributed" => distributed = true,
+            flag if flag.starts_with("--") => {
+                eprintln!("td orient: unknown flag '{flag}'");
+                return 2;
+            }
+            p if path.is_none() => path = Some(p),
+            extra => {
+                eprintln!("td orient: unexpected trailing argument '{extra}'");
+                return 2;
+            }
+        }
+    }
+    let g = load_graph(path.unwrap_or("-"));
     let orientation = if distributed {
         let res = run_distributed(&g, &Simulator::sequential());
         println!(
@@ -774,6 +955,10 @@ fn cmd_orient(args: &[String]) -> i32 {
 }
 
 fn cmd_game(args: &[String]) -> i32 {
+    if args.len() > 1 {
+        eprintln!("td game: unexpected trailing argument '{}'", args[1]);
+        return 2;
+    }
     let path = args.first().map(String::as_str).unwrap_or("-");
     let text = read_input(path);
     let game = game_io::read_game(BufReader::new(text.as_bytes())).unwrap_or_else(|e| {
@@ -796,19 +981,38 @@ fn cmd_game(args: &[String]) -> i32 {
 }
 
 fn cmd_assign(args: &[String]) -> i32 {
-    let path = args.first().map(String::as_str).unwrap_or("-");
+    assign_inner(args).unwrap_or_else(|code| code)
+}
+
+fn assign_inner(args: &[String]) -> Result<i32, i32> {
+    fn int_flag<T: std::str::FromStr>(flag: &str, raw: Option<&String>) -> Result<T, i32> {
+        match raw.and_then(|r| r.parse().ok()) {
+            Some(v) => Ok(v),
+            None => {
+                eprintln!("td assign: {flag} needs an integer");
+                Err(2)
+            }
+        }
+    }
+    // The file positional may be omitted (stdin). A leading flag used to be
+    // swallowed as the path, shifting every later argument into the wrong
+    // slot; missing or garbage flag values used to panic via unwrap.
+    let (path, flag_args) = match args.first().map(String::as_str) {
+        Some(p) if !p.starts_with("--") => (p, &args[1..]),
+        _ => ("-", args),
+    };
     let mut customers: Option<usize> = None;
     let mut bounded: Option<u32> = None;
     let mut optimal = false;
-    let mut i = 1;
-    while i < args.len() {
-        match args[i].as_str() {
+    let mut i = 0;
+    while i < flag_args.len() {
+        match flag_args[i].as_str() {
             "--customers" => {
-                customers = Some(args[i + 1].parse().unwrap());
+                customers = Some(int_flag("--customers", flag_args.get(i + 1))?);
                 i += 2;
             }
             "--bounded" => {
-                bounded = Some(args[i + 1].parse().unwrap());
+                bounded = Some(int_flag("--bounded", flag_args.get(i + 1))?);
                 i += 2;
             }
             "--optimal" => {
@@ -816,12 +1020,15 @@ fn cmd_assign(args: &[String]) -> i32 {
                 i += 1;
             }
             other => {
-                eprintln!("unknown flag {other}");
-                return 2;
+                eprintln!("td assign: unknown argument '{other}'");
+                return Err(2);
             }
         }
     }
-    let nc = customers.expect("--customers <nc> required");
+    let Some(nc) = customers else {
+        eprintln!("td assign: --customers <nc> is required");
+        return Err(2);
+    };
     let g = load_graph(path);
     let inst = AssignmentInstance::from_bipartite_graph(&g, nc);
     let assignment = if optimal {
@@ -857,5 +1064,5 @@ fn cmd_assign(args: &[String]) -> i32 {
     for c in 0..nc {
         println!("{} {}", c, assignment.server_of(c).unwrap());
     }
-    0
+    Ok(0)
 }

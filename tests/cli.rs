@@ -424,6 +424,120 @@ fn perf_writes_versioned_json_report() {
 }
 
 #[test]
+fn serve_lists_families_without_args() {
+    let (out, _, ok) = run_td(&["serve"], None);
+    assert!(ok);
+    for fam in ["small-world", "power-law", "churn-orient", "churn-assign"] {
+        assert!(out.contains(fam), "listing missing {fam}:\n{out}");
+    }
+}
+
+/// Two `td serve` runs with the same family/size/seed/budget must report
+/// the same fingerprint and repair totals — the open-loop generator's
+/// event mix is a pure function of the spec, and wall-clock pacing may
+/// never leak into the applied trace.
+#[test]
+fn serve_is_deterministic_and_writes_versioned_json() {
+    let json_for = |tag: &str| -> String {
+        let out_path =
+            std::env::temp_dir().join(format!("td-serve-test-{}-{tag}.json", std::process::id()));
+        let out_str = out_path.to_str().unwrap().to_string();
+        let (out, err, ok) = run_td(
+            &[
+                "serve",
+                "churn-orient",
+                "--size",
+                "24",
+                "--seed",
+                "9",
+                "--budget",
+                "32",
+                "--out",
+                &out_str,
+            ],
+            None,
+        );
+        assert!(ok, "{err}");
+        assert!(out.contains("fingerprint"), "{out}");
+        assert!(out.contains("events"), "{out}");
+        let json = std::fs::read_to_string(&out_path).expect("report written");
+        std::fs::remove_file(&out_path).ok();
+        json
+    };
+    let (a, b) = (json_for("a"), json_for("b"));
+    assert!(a.contains("\"schema\":\"td-serve/v1\""), "{a}");
+    assert!(a.contains("\"events\":32"), "{a}");
+    assert!(a.contains("\"p999\""), "{a}");
+    assert!(a.contains("\"sparse_skips\""), "{a}");
+    let field = |json: &str, key: &str| -> String {
+        let start = json.find(key).unwrap_or_else(|| panic!("{key} in {json}")) + key.len();
+        json[start..]
+            .chars()
+            .take_while(|c| *c != ',' && *c != '}' && *c != '\n')
+            .collect()
+    };
+    for key in ["\"fingerprint\":", "\"repair\":", "\"max_load\":"] {
+        assert_eq!(field(&a, key), field(&b, key), "{key} differs");
+    }
+}
+
+#[test]
+fn serve_flag_errors_exit_2() {
+    for bad in [
+        // Not a churn family (static workload) / unknown family.
+        vec!["serve", "rotor"],
+        vec!["serve", "no-such-family"],
+        // A leading flag means the family positional was omitted.
+        vec!["serve", "--rate", "100"],
+        vec!["serve", "churn-orient", "--rate", "x"],
+        vec!["serve", "churn-orient", "--rate"],
+        vec!["serve", "churn-orient", "--budget", "0"],
+        vec!["serve", "churn-orient", "--budget"],
+        vec!["serve", "churn-orient", "--queue", "0"],
+        vec!["serve", "churn-orient", "--out"],
+        vec!["serve", "churn-orient", "--seed", "garbage"],
+        vec!["serve", "churn-orient", "--threads", "0"],
+        vec!["serve", "churn-orient", "--shards", "0"],
+        vec!["serve", "churn-orient", "--bogus"],
+        vec!["serve", "churn-orient", "trailing-garbage"],
+    ] {
+        let out = Command::new(BIN).args(&bad).output().unwrap();
+        assert_eq!(out.status.code(), Some(2), "args {bad:?}");
+        assert!(!out.stderr.is_empty(), "args {bad:?}: silent failure");
+    }
+}
+
+/// The hand-rolled positional parsers used to ignore trailing arguments
+/// (or panic on garbage); every subcommand must reject them with exit 2.
+#[test]
+fn trailing_and_malformed_args_exit_2_everywhere() {
+    for bad in [
+        vec!["gen", "gnm", "10", "20", "3", "extra"],
+        vec!["gen", "gnm", "10", "20", "not-a-seed"],
+        vec!["gen", "gnm", "10"],
+        vec!["gen", "regular", "16", "3", "5", "extra"],
+        vec!["gen", "tree", "2", "3", "extra"],
+        vec!["gen", "comb", "5", "extra"],
+        vec!["gen", "comb", "x"],
+        vec!["gen", "game", "4,4", "2", "1", "extra"],
+        vec!["gen", "game", "4,x", "2"],
+        vec!["info", "-", "extra"],
+        vec!["orient", "-", "--distribtued"],
+        vec!["orient", "-", "second-file"],
+        vec!["game", "-", "extra"],
+        vec!["assign", "-", "--customers"],
+        vec!["assign", "-", "--customers", "x"],
+        vec!["assign", "-", "--bounded", "x", "--customers", "4"],
+        vec!["assign", "-"],
+        vec!["perf", "--quick", "extra-garbage"],
+    ] {
+        let out = Command::new(BIN).args(&bad).output().unwrap();
+        assert_eq!(out.status.code(), Some(2), "args {bad:?}");
+        assert!(!out.stderr.is_empty(), "args {bad:?}: silent failure");
+    }
+}
+
+#[test]
 fn churn_flag_errors_exit_2() {
     let out = Command::new(BIN)
         .args(["churn", "edge-flip", "--events"])
