@@ -1131,7 +1131,7 @@ fn e17() {
                 .expect("registered family")
                 .with_size(size)
                 .with_seed(42);
-            let (n, m, delta, r, msg) = match spec.build() {
+            let (n, m, delta, r, msg) = match spec.build().expect("plan specs are valid") {
                 WorkloadInstance::Game(game) => {
                     let res = proposal::run_on_simulator(&game, &sim);
                     td_core::verify_solution(&game, &res.solution).expect("rules 1-3");

@@ -487,7 +487,8 @@ impl ChurnScenario for SmallWorldFlux {
             .with_size(size)
             .with_seed(seed)
             .with_param("events", events);
-        let crate::spec::WorkloadInstance::OrientChurn { graph: g, trace } = spec.build() else {
+        let built = spec.build().expect("default small-world spec is valid");
+        let crate::spec::WorkloadInstance::OrientChurn { graph: g, trace } = built else {
             unreachable!("small-world builds an orientation churn instance");
         };
         let t0 = Instant::now();

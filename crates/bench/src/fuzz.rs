@@ -133,8 +133,29 @@ fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
+/// Runs the churn differential (incremental vs full recompute, thread ×
+/// shard grid, metamorphic relabeling) for a *provided* event stream
+/// instead of the spec's generated mix — the fuzz-plane consumer of
+/// `td trace replay`. The spec names the base instance; the trace's events
+/// replace the generated ones. Panics are caught like [`check`].
+pub fn check_churn_trace(spec: &WorkloadSpec, events: &[ChurnEvent]) -> Result<FuzzReport, String> {
+    let spec = spec.clone();
+    let events = events.to_vec();
+    catch_unwind(AssertUnwindSafe(move || {
+        match spec.build().map_err(|e| format!("build: {e}"))? {
+            WorkloadInstance::OrientChurn { graph, .. } => check_orient_churn(&spec, graph, events),
+            WorkloadInstance::AssignChurn { base, .. } => check_assign_churn(&spec, base, events),
+            _ => Err(format!(
+                "'{}' is not a churn family; traces replay only through churn pipelines",
+                spec.family
+            )),
+        }
+    }))
+    .unwrap_or_else(|p| Err(format!("panicked: {}", panic_message(p.as_ref()))))
+}
+
 fn check_inner(spec: &WorkloadSpec) -> Result<FuzzReport, String> {
-    match spec.build() {
+    match spec.build().map_err(|e| format!("build: {e}"))? {
         WorkloadInstance::Game(game) => check_game(spec, game),
         WorkloadInstance::Orientation(graph) => check_orientation(spec, graph),
         WorkloadInstance::Assignment { inst, bound } => check_assignment(spec, inst, bound),
@@ -202,8 +223,12 @@ fn check_game(spec: &WorkloadSpec, game: TokenGame) -> Result<FuzzReport, String
         }
         "rotor" => {
             // Deterministic: another seed must build the identical instance.
-            let WorkloadInstance::Game(again) = spec.clone().with_seed(spec.seed ^ 1).build()
-            else {
+            let rebuilt = spec
+                .clone()
+                .with_seed(spec.seed ^ 1)
+                .build()
+                .map_err(|e| format!("rotor: rebuild failed: {e}"))?;
+            let WorkloadInstance::Game(again) = rebuilt else {
                 return Err("rotor: rebuild changed kind".into());
             };
             if again.levels() != game.levels() || again.tokens() != game.tokens() {
@@ -429,7 +454,7 @@ fn check_assignment(
 /// Runs a full orientation churn trace: stabilize, then apply every event,
 /// verifying stability after each. Returns accumulated stats plus the final
 /// solution fingerprint (head id per edge, in edge order).
-fn orient_trace_run(
+pub(crate) fn orient_trace_run(
     graph: &CsrGraph,
     trace: &[ChurnEvent],
     mode: RepairMode,
@@ -550,7 +575,7 @@ fn check_orient_churn(
 }
 
 /// Runs a full assignment churn trace (see [`orient_trace_run`]).
-fn assign_trace_run(
+pub(crate) fn assign_trace_run(
     base: &AssignmentInstance,
     trace: &[ChurnEvent],
     mode: RepairMode,

@@ -18,12 +18,14 @@ pub mod perf;
 pub mod scenario;
 pub mod serve;
 pub mod spec;
+pub mod trace;
 
 pub use churn::{ChurnReport, ChurnScenario};
 pub use perf::{PerfPoint, PerfReport, SweepConfig};
 pub use scenario::{Scenario, ScenarioKind, ScenarioReport};
 pub use serve::{ServeConfig, ServeReport};
 pub use spec::{FamilyKind, WorkloadInstance, WorkloadSpec};
+pub use trace::{Trace, TraceSource};
 
 /// Workload builders with controlled parameters.
 pub mod workloads {

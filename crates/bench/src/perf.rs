@@ -613,7 +613,7 @@ fn build_spec(family: &str, size: u32, seed: u64) -> Result<WorkloadSpec, String
 
 fn run_game(cfg: &SweepConfig, family: &'static str, size: u32) -> Result<Vec<PerfPoint>, String> {
     let spec = build_spec(family, size, cfg.seed)?;
-    let WorkloadInstance::Game(game) = spec.build() else {
+    let WorkloadInstance::Game(game) = spec.build()? else {
         return Err(format!("{family}: expected a game instance"));
     };
     let mut out = Vec::new();
@@ -661,7 +661,7 @@ fn run_game(cfg: &SweepConfig, family: &'static str, size: u32) -> Result<Vec<Pe
 
 fn run_orientation(cfg: &SweepConfig, size: u32) -> Result<Vec<PerfPoint>, String> {
     let spec = build_spec("torus", size, cfg.seed)?;
-    let WorkloadInstance::Orientation(g) = spec.build() else {
+    let WorkloadInstance::Orientation(g) = spec.build()? else {
         return Err("torus: expected an orientation instance".into());
     };
     let mut out = Vec::new();
@@ -711,7 +711,7 @@ fn run_orientation(cfg: &SweepConfig, size: u32) -> Result<Vec<PerfPoint>, Strin
 
 fn run_assignment(cfg: &SweepConfig, size: u32) -> Result<Vec<PerfPoint>, String> {
     let spec = build_spec("zipf-cluster", size, cfg.seed)?.with_param("bound", 2);
-    let WorkloadInstance::Assignment { inst, bound } = spec.build() else {
+    let WorkloadInstance::Assignment { inst, bound } = spec.build()? else {
         return Err("zipf-cluster: expected an assignment instance".into());
     };
     let mut out = Vec::new();
@@ -792,7 +792,7 @@ fn run_churn(cfg: &SweepConfig, family: &'static str, size: u32) -> Result<Vec<P
         let mut wall_ns = u128::MAX;
         let mut last = None;
         for _ in 0..cfg.repeat.max(1) {
-            let built = spec.build();
+            let built = spec.build()?;
             let t0 = Instant::now();
             let measured = run_churn_once(family, built, threads, shards)?;
             wall_ns = wall_ns.min(t0.elapsed().as_nanos());

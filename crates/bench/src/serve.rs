@@ -48,9 +48,15 @@ pub const SCHEMA: &str = "td-serve/v1";
 /// Exact latency recorder: keeps every sample and reports nearest-rank
 /// percentiles, so `p50/p99/p999` are actual observed values (no bucketing
 /// error), at 8 bytes per event.
+///
+/// Sorting happens lazily, at most once per batch of percentile queries:
+/// the first query after a `record` sorts in place and subsequent queries
+/// reuse the order, so summarizing a report costs one sort instead of one
+/// clone-and-sort per percentile.
 #[derive(Clone, Debug, Default)]
 pub struct LatencyHistogram {
     samples_ns: Vec<u64>,
+    sorted: bool,
 }
 
 impl LatencyHistogram {
@@ -62,6 +68,7 @@ impl LatencyHistogram {
     /// Records one latency sample.
     pub fn record(&mut self, d: Duration) {
         self.samples_ns.push(d.as_nanos() as u64);
+        self.sorted = false;
     }
 
     /// Number of samples recorded.
@@ -76,18 +83,20 @@ impl LatencyHistogram {
 
     /// The exact nearest-rank percentile, in permille (`500` = p50,
     /// `990` = p99, `999` = p99.9, `1000` = max). Returns 0 when empty.
-    pub fn percentile_ns(&self, permille: u32) -> u64 {
+    pub fn percentile_ns(&mut self, permille: u32) -> u64 {
         assert!(permille <= 1000, "permille percentile expected");
         if self.samples_ns.is_empty() {
             return 0;
         }
-        let mut sorted = self.samples_ns.clone();
-        sorted.sort_unstable();
-        let n = sorted.len() as u64;
+        if !self.sorted {
+            self.samples_ns.sort_unstable();
+            self.sorted = true;
+        }
+        let n = self.samples_ns.len() as u64;
         // Nearest-rank: the smallest sample with at least permille/1000 of
         // the distribution at or below it.
         let rank = ((permille as u64 * n).div_ceil(1000)).max(1);
-        sorted[(rank - 1) as usize]
+        self.samples_ns[(rank - 1) as usize]
     }
 
     /// Mean sample, in nanoseconds (0 when empty).
@@ -98,6 +107,20 @@ impl LatencyHistogram {
         let sum: u128 = self.samples_ns.iter().map(|&v| v as u128).sum();
         (sum / self.samples_ns.len() as u128) as u64
     }
+}
+
+/// FNV-1a over a word stream — the solution-fingerprint hash every serve /
+/// replay consumer shares, so fingerprints printed by different consumers
+/// of one trace are directly diffable.
+pub(crate) fn fnv1a_words(words: impl IntoIterator<Item = u64>) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for v in words {
+        h ^= v;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
 }
 
 // ------------------------------------------------------------ the engine ---
@@ -126,26 +149,18 @@ impl ServeEngine {
     /// FNV-1a over the current solution: orientation heads per edge, or
     /// `server + 1` per customer slot (0 = unassigned / departed).
     fn fingerprint(&self) -> u64 {
-        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-        const PRIME: u64 = 0x0000_0100_0000_01b3;
-        let mut h = OFFSET;
-        let mut mix = |v: u64| {
-            h ^= v;
-            h = h.wrapping_mul(PRIME);
-        };
         match self {
-            ServeEngine::Orient(e) => {
-                for edge in e.graph().edges() {
-                    mix(e.orientation().head(edge).expect("complete orientation").0 as u64);
-                }
-            }
-            ServeEngine::Assign(e) => {
-                for a in e.assignment_vector() {
-                    mix(a.map_or(0, |s| s as u64 + 1));
-                }
-            }
+            ServeEngine::Orient(e) => fnv1a_words(
+                e.graph()
+                    .edges()
+                    .map(|edge| e.orientation().head(edge).expect("complete orientation").0 as u64),
+            ),
+            ServeEngine::Assign(e) => fnv1a_words(
+                e.assignment_vector()
+                    .iter()
+                    .map(|a| a.map_or(0, |s| s as u64 + 1)),
+            ),
         }
-        h
     }
 
     /// Heaviest server / node load right now (the query answer).
@@ -239,6 +254,11 @@ pub struct ServeConfig {
     /// [`td_local::ChurnSim::set_stamp_horizon`]); caps single-run round
     /// budgets to half the horizon so headroom always exists.
     pub stamp_horizon: Option<u32>,
+    /// Recorded event stream to serve instead of the spec's generated mix
+    /// (the `td trace replay --consumer serve` path). When set, the
+    /// effective budget is the trace length and `budget` is ignored; the
+    /// spec still names the base instance (graph family / size / seed).
+    pub trace: Option<Vec<ChurnEvent>>,
 }
 
 impl ServeConfig {
@@ -264,6 +284,7 @@ impl ServeConfig {
             queue: 1024,
             query_every: 64,
             stamp_horizon: None,
+            trace: None,
         })
     }
 
@@ -316,7 +337,7 @@ pub struct LatencySummary {
 }
 
 impl LatencySummary {
-    fn from_hist(h: &LatencyHistogram) -> Self {
+    fn from_hist(h: &mut LatencyHistogram) -> Self {
         LatencySummary {
             count: h.len() as u64,
             p50_ns: h.percentile_ns(500),
@@ -507,8 +528,12 @@ fn spawn_daemon(
 /// it, joins the daemon (clean shutdown — no worker outlives this call),
 /// verifies the final state, and returns the report.
 pub fn serve(cfg: &ServeConfig) -> Result<ServeReport, String> {
-    let spec = cfg.spec.clone().with_param("events", cfg.budget);
-    let (mut engine, trace) = match spec.build() {
+    let budget = match &cfg.trace {
+        Some(t) => u32::try_from(t.len()).map_err(|_| "trace too long".to_string())?,
+        None => cfg.budget,
+    };
+    let spec = cfg.spec.clone().with_param("events", budget);
+    let (mut engine, trace) = match spec.build()? {
         WorkloadInstance::OrientChurn { graph, trace } => {
             let mut eng = OrientChurnEngine::new(
                 graph.clone(),
@@ -538,6 +563,12 @@ pub fn serve(cfg: &ServeConfig) -> Result<ServeReport, String> {
                 churn_families().join(", ")
             ))
         }
+    };
+    // A recorded trace replaces the generated mix; the base instance (built
+    // above — churn families draw the graph before the mix) is unchanged.
+    let trace = match &cfg.trace {
+        Some(t) => t.clone(),
+        None => trace,
     };
     // Reach the first stable state before opening the doors.
     match &mut engine {
@@ -605,7 +636,7 @@ pub fn serve(cfg: &ServeConfig) -> Result<ServeReport, String> {
     }
     // Dropping the sender is the shutdown signal; join for a clean exit.
     drop(tx);
-    let outcome = daemon.join().map_err(|_| "serve daemon panicked")?;
+    let mut outcome = daemon.join().map_err(|_| "serve daemon panicked")?;
     let wall = start.elapsed();
     if let Some(e) = outcome.error {
         return Err(format!("repair failed: {e}"));
@@ -632,7 +663,7 @@ pub fn serve(cfg: &ServeConfig) -> Result<ServeReport, String> {
         size: spec.size,
         seed: spec.seed,
         rate: cfg.rate,
-        budget: cfg.budget,
+        budget,
         threads: cfg.threads,
         shards: cfg.shards,
         queue: cfg.queue,
@@ -645,7 +676,7 @@ pub fn serve(cfg: &ServeConfig) -> Result<ServeReport, String> {
         busy_ns: outcome.busy.as_nanos() as u64,
         repair: outcome.repair,
         perf: outcome.engine.exec_perf(),
-        latency: LatencySummary::from_hist(&outcome.hist),
+        latency: LatencySummary::from_hist(&mut outcome.hist),
         max_load: outcome.engine.max_load(),
         fingerprint: outcome.engine.fingerprint(),
     })
@@ -740,6 +771,48 @@ mod tests {
         assert_eq!(s.percentile_ns(999), 30);
         // Empty histogram answers 0 rather than panicking.
         assert_eq!(LatencyHistogram::new().percentile_ns(999), 0);
+    }
+
+    #[test]
+    fn lazy_sort_matches_per_call_sort_reference() {
+        // The histogram now sorts once per batch of queries; the reference
+        // below clones and sorts per call the way the old implementation
+        // did. Percentiles must be unchanged, including across interleaved
+        // record/query sequences that invalidate the sorted order.
+        let mut h = LatencyHistogram::new();
+        let mut vals: Vec<u64> = Vec::new();
+        let mut x = 0x9e37_79b9_7f4a_7c15u64;
+        let reference = |vals: &[u64], permille: u32| -> u64 {
+            if vals.is_empty() {
+                return 0;
+            }
+            let mut sorted = vals.to_vec();
+            sorted.sort_unstable();
+            let n = sorted.len() as u64;
+            let rank = ((permille as u64 * n).div_ceil(1000)).max(1);
+            sorted[(rank - 1) as usize]
+        };
+        for round in 0..4 {
+            for _ in 0..337 {
+                x = x
+                    .wrapping_mul(6_364_136_223_846_793_005)
+                    .wrapping_add(1_442_695_040_888_963_407);
+                let v = x >> 40;
+                vals.push(v);
+                h.record(Duration::from_nanos(v));
+            }
+            for p in [0, 1, 250, 500, 900, 990, 999, 1000] {
+                assert_eq!(
+                    h.percentile_ns(p),
+                    reference(&vals, p),
+                    "round {round} p{p}"
+                );
+            }
+            assert_eq!(h.mean_ns(), {
+                let sum: u128 = vals.iter().map(|&v| v as u128).sum();
+                (sum / vals.len() as u128) as u64
+            });
+        }
     }
 
     #[test]

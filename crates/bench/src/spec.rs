@@ -66,9 +66,39 @@ impl FamilyKind {
     }
 }
 
+/// One declared family parameter: its name, default, and the closed range
+/// of values [`WorkloadSpec::validate`] accepts. The bounds replace the
+/// scattered `.max(..)`/`.clamp(..)` guards that used to silently rewrite
+/// degenerate values inside `build` — an out-of-range parameter is now a
+/// parse/build *error*, never a silently different instance.
+pub struct ParamInfo {
+    /// Parameter key (as it appears in the spec string).
+    pub name: &'static str,
+    /// Value used when the spec string omits the key.
+    pub default: u32,
+    /// Smallest accepted value.
+    pub min: u32,
+    /// Largest accepted value.
+    pub max: u32,
+}
+
+/// Shorthand constructor for [`ParamInfo`] (keeps the registry readable).
+const fn p(name: &'static str, default: u32, min: u32, max: u32) -> ParamInfo {
+    ParamInfo {
+        name,
+        default,
+        min,
+        max,
+    }
+}
+
+/// Event-mix weights get a generous but finite ceiling so that summing a
+/// family's weights can never overflow `u32` arithmetic in the generators.
+const WEIGHT_MAX: u32 = 1 << 20;
+
 /// Static description of one generator family: its name, pipeline kind,
-/// default size, size ladder (used by the fuzz corpus), and the canonical
-/// parameter list with defaults.
+/// default size, accepted size range, size ladder (used by the fuzz
+/// corpus), and the canonical parameter list with defaults and bounds.
 pub struct FamilyInfo {
     /// Registry name (the first token of the spec string).
     pub name: &'static str,
@@ -76,10 +106,14 @@ pub struct FamilyInfo {
     pub kind: FamilyKind,
     /// Size used when the spec string omits `size=`.
     pub default_size: u32,
+    /// Smallest size [`WorkloadSpec::validate`] accepts.
+    pub min_size: u32,
+    /// Largest size [`WorkloadSpec::validate`] accepts.
+    pub max_size: u32,
     /// Sizes the fuzz corpus cycles through.
     pub size_ladder: &'static [u32],
-    /// Canonical `(name, default)` parameter list, in display order.
-    pub params: &'static [(&'static str, u32)],
+    /// Canonical parameter list, in display order.
+    pub params: &'static [ParamInfo],
     /// What the family generates and what `size` means.
     pub about: &'static str,
 }
@@ -90,22 +124,28 @@ pub static FAMILIES: &[FamilyInfo] = &[
         name: "regular",
         kind: FamilyKind::Orientation,
         default_size: 24,
+        min_size: 4,
+        max_size: u32::MAX,
         size_ladder: &[16, 24, 32],
-        params: &[("d", 3)],
-        about: "random d-regular graph (configuration model); size = nodes",
+        params: &[p("d", 3, 2, 4)],
+        about: "random d-regular graph (configuration model); size = nodes (>= d + 2)",
     },
     FamilyInfo {
         name: "grid",
         kind: FamilyKind::Orientation,
         default_size: 6,
+        min_size: 2,
+        max_size: u32::MAX,
         size_ladder: &[4, 5, 6, 7],
         params: &[],
-        about: "side x side grid; size = side length",
+        about: "side x side grid; size = side length (>= 2)",
     },
     FamilyInfo {
         name: "torus",
         kind: FamilyKind::Orientation,
         default_size: 4,
+        min_size: 3,
+        max_size: u32::MAX,
         size_ladder: &[3, 4, 5],
         params: &[],
         about: "side x side torus (4-regular); size = side length (>= 3)",
@@ -114,6 +154,8 @@ pub static FAMILIES: &[FamilyInfo] = &[
         name: "hypercube",
         kind: FamilyKind::Orientation,
         default_size: 4,
+        min_size: 1,
+        max_size: 10,
         size_ladder: &[3, 4],
         params: &[],
         about: "dim-dimensional hypercube (2^dim nodes); size = dim (1..=10)",
@@ -122,92 +164,124 @@ pub static FAMILIES: &[FamilyInfo] = &[
         name: "small-world",
         kind: FamilyKind::OrientChurn,
         default_size: 32,
+        min_size: 4,
+        max_size: u32::MAX,
         size_ladder: &[24, 32, 48],
         params: &[
-            ("k", 4),
-            ("p_pct", 15),
-            ("events", 10),
-            ("flip_w", 1),
-            ("ins_w", 1),
-            ("del_w", 1),
+            p("k", 4, 2, 1 << 16),
+            p("p_pct", 15, 0, 100),
+            p("events", 10, 0, 10_000_000),
+            p("flip_w", 1, 0, WEIGHT_MAX),
+            p("ins_w", 1, 0, WEIGHT_MAX),
+            p("del_w", 1, 0, WEIGHT_MAX),
         ],
-        about: "Watts-Strogatz ring lattice (degree k, p_pct% rewired) under orientation churn; size = nodes",
+        about: "Watts-Strogatz ring lattice (degree k, p_pct% rewired) under orientation churn; size = nodes (>= k + 2)",
     },
     FamilyInfo {
         name: "power-law",
         kind: FamilyKind::OrientChurn,
         default_size: 32,
+        min_size: 3,
+        max_size: u32::MAX,
         size_ladder: &[24, 32, 48],
         params: &[
-            ("m", 2),
-            ("events", 10),
-            ("flip_w", 2),
-            ("ins_w", 1),
-            ("del_w", 1),
+            p("m", 2, 1, 4),
+            p("events", 10, 0, 10_000_000),
+            p("flip_w", 2, 0, WEIGHT_MAX),
+            p("ins_w", 1, 0, WEIGHT_MAX),
+            p("del_w", 1, 0, WEIGHT_MAX),
         ],
-        about: "Barabasi-Albert preferential attachment (m edges/node) under orientation churn; size = nodes",
+        about: "Barabasi-Albert preferential attachment (m edges/node) under orientation churn; size = nodes (>= m + 2)",
     },
     FamilyInfo {
         name: "layered",
         kind: FamilyKind::Game,
         default_size: 6,
+        min_size: 2,
+        max_size: u32::MAX,
         size_ladder: &[4, 6, 8],
-        params: &[("levels", 4), ("delta", 3), ("density_pct", 50)],
-        about: "random layered token game; size = level width",
+        params: &[
+            p("levels", 4, 1, 8),
+            p("delta", 3, 1, 6),
+            p("density_pct", 50, 1, 100),
+        ],
+        about: "random layered token game; size = level width (>= 2)",
     },
     FamilyInfo {
         name: "hourglass",
         kind: FamilyKind::Game,
         default_size: 8,
+        min_size: 4,
+        max_size: u32::MAX,
         size_ladder: &[6, 8, 10],
-        params: &[("delta", 2), ("density_pct", 60)],
-        about: "5-level layered game pinched in the middle (funnel contention); size = outer width",
+        params: &[p("delta", 2, 1, 6), p("density_pct", 60, 1, 100)],
+        about: "5-level layered game pinched in the middle (funnel contention); size = outer width (>= 4)",
     },
     FamilyInfo {
         name: "rotor",
         kind: FamilyKind::Game,
         default_size: 8,
+        min_size: 2,
+        max_size: u32::MAX,
         size_ladder: &[6, 10, 14],
         params: &[],
-        about: "deterministic circulant rotor sweep (seed ignored); size = width",
+        about: "deterministic circulant rotor sweep (seed ignored); size = width (>= 2)",
     },
     FamilyInfo {
         name: "zipf-cluster",
         kind: FamilyKind::Assignment,
         default_size: 6,
+        min_size: 2,
+        max_size: u32::MAX,
         size_ladder: &[4, 5, 6],
-        params: &[("clusters", 3), ("alpha_pct", 120), ("cps", 3), ("bound", 2)],
-        about: "clustered Zipf bipartite assignment (cps customers/server, bound = k or 0 for exact); size = servers",
+        params: &[
+            p("clusters", 3, 1, u32::MAX),
+            p("alpha_pct", 120, 0, 10_000),
+            p("cps", 3, 1, 1 << 16),
+            p("bound", 2, 0, 1 << 16),
+        ],
+        about: "clustered Zipf bipartite assignment (cps customers/server, bound = k or 0 for exact); size = servers (>= 2, >= clusters)",
     },
     FamilyInfo {
         name: "uniform-assign",
         kind: FamilyKind::Assignment,
         default_size: 3,
+        min_size: 2,
+        max_size: u32::MAX,
         size_ladder: &[3, 4, 5],
-        params: &[("cps", 3), ("bound", 0)],
-        about: "uniform random assignment instance (exact protocol is O(C·S⁴): keep size small at bound=0); size = servers",
+        params: &[p("cps", 3, 1, 1 << 16), p("bound", 0, 0, 1 << 16)],
+        about: "uniform random assignment instance (exact protocol is O(C·S⁴): keep size small at bound=0); size = servers (>= 2)",
     },
     FamilyInfo {
         name: "churn-orient",
         kind: FamilyKind::OrientChurn,
         default_size: 48,
+        min_size: 4,
+        max_size: u32::MAX,
         size_ladder: &[32, 48, 64],
         params: &[
-            ("d", 4),
-            ("events", 16),
-            ("flip_w", 2),
-            ("ins_w", 1),
-            ("del_w", 1),
+            p("d", 4, 2, 6),
+            p("events", 16, 0, 10_000_000),
+            p("flip_w", 2, 0, WEIGHT_MAX),
+            p("ins_w", 1, 0, WEIGHT_MAX),
+            p("del_w", 1, 0, WEIGHT_MAX),
         ],
-        about: "random d-regular graph under a flip/insert/delete event mix; size = nodes",
+        about: "random d-regular graph under a flip/insert/delete event mix; size = nodes (>= d + 2)",
     },
     FamilyInfo {
         name: "churn-assign",
         kind: FamilyKind::AssignChurn,
         default_size: 6,
+        min_size: 3,
+        max_size: u32::MAX,
         size_ladder: &[4, 6, 8],
-        params: &[("events", 16), ("join_w", 3), ("leave_w", 1), ("cap_w", 2)],
-        about: "live assignment under a join/leave/drain event mix; size = servers",
+        params: &[
+            p("events", 16, 0, 10_000_000),
+            p("join_w", 3, 0, WEIGHT_MAX),
+            p("leave_w", 1, 0, WEIGHT_MAX),
+            p("cap_w", 2, 0, WEIGHT_MAX),
+        ],
+        about: "live assignment under a join/leave/drain event mix; size = servers (>= 3)",
     },
 ];
 
@@ -228,10 +302,13 @@ pub fn find_family(name: &str) -> Option<&'static FamilyInfo> {
 /// assert_eq!(WorkloadSpec::parse(&spec.to_string()).unwrap(), spec);
 ///
 /// // `build` materializes the instance the string names.
-/// let WorkloadInstance::Orientation(g) = spec.build() else {
+/// let WorkloadInstance::Orientation(g) = spec.build().unwrap() else {
 ///     panic!("torus is an orientation family")
 /// };
 /// assert_eq!(g.num_nodes(), 16); // 4 x 4, exactly 4-regular
+///
+/// // Degenerate knobs are rejected, never silently patched up.
+/// assert!(WorkloadSpec::parse("torus:size=0").is_err());
 /// ```
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct WorkloadSpec {
@@ -262,7 +339,7 @@ impl WorkloadSpec {
             family: info.name,
             size: info.default_size,
             seed: 42,
-            params: info.params.to_vec(),
+            params: info.params.iter().map(|p| (p.name, p.default)).collect(),
         })
     }
 
@@ -354,16 +431,92 @@ impl WorkloadSpec {
             // `seen` borrows from `part`, which lives as long as `s`.
             seen.push(key);
         }
+        spec.validate()?;
         Ok(spec)
     }
 
-    /// Materializes the instance this spec describes.
-    pub fn build(&self) -> WorkloadInstance {
-        let mut rng = SmallRng::seed_from_u64(self.seed);
+    /// Checks `size` and every parameter against the family's declared
+    /// bounds, plus the structural rules the generators rely on. Both
+    /// [`parse`](Self::parse) and [`build`](Self::build) run this, so a spec
+    /// assembled via `with_size`/`with_param` is still checked before it can
+    /// materialize an instance.
+    pub fn validate(&self) -> Result<(), String> {
+        let info = self.info();
+        if self.size < info.min_size || self.size > info.max_size {
+            return Err(format!(
+                "{}: size {} out of range [{}, {}]",
+                self.family, self.size, info.min_size, info.max_size
+            ));
+        }
+        for pi in info.params {
+            let v = self.param(pi.name);
+            if v < pi.min || v > pi.max {
+                return Err(format!(
+                    "{}: {} {} out of range [{}, {}]",
+                    self.family, pi.name, v, pi.min, pi.max
+                ));
+            }
+        }
+        // Structural rules that couple size to a parameter, or parameters to
+        // each other — the generators assume these hold.
+        let floor = |knob: &str, need: u32| -> Result<(), String> {
+            if self.size < need {
+                Err(format!(
+                    "{}: size {} too small for {knob} (need >= {need})",
+                    self.family, self.size
+                ))
+            } else {
+                Ok(())
+            }
+        };
         match self.family {
+            "regular" => floor("d", self.param("d") + 2)?,
+            "churn-orient" => floor("d", self.param("d") + 2)?,
+            "small-world" => floor("k", self.param("k") + 2)?,
+            "power-law" => floor("m", self.param("m") + 2)?,
+            "zipf-cluster" if self.param("clusters") > self.size => {
+                return Err(format!(
+                    "{}: clusters {} exceeds size {}",
+                    self.family,
+                    self.param("clusters"),
+                    self.size
+                ));
+            }
+            _ => {}
+        }
+        match self.kind() {
+            FamilyKind::OrientChurn => {
+                let sum = self.param("flip_w") + self.param("ins_w") + self.param("del_w");
+                if sum == 0 {
+                    return Err(format!(
+                        "{}: event-mix weights sum to 0 (flip_w + ins_w + del_w must be >= 1)",
+                        self.family
+                    ));
+                }
+            }
+            FamilyKind::AssignChurn => {
+                let sum = self.param("join_w") + self.param("leave_w") + self.param("cap_w");
+                if sum == 0 {
+                    return Err(format!(
+                        "{}: event-mix weights sum to 0 (join_w + leave_w + cap_w must be >= 1)",
+                        self.family
+                    ));
+                }
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+
+    /// Materializes the instance this spec describes, after
+    /// [`validate`](Self::validate)-ing it.
+    pub fn build(&self) -> Result<WorkloadInstance, String> {
+        self.validate()?;
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        Ok(match self.family {
             "regular" => {
-                let d = (self.param("d") as usize).clamp(2, 4);
-                let mut n = (self.size as usize).max(d + 2);
+                let d = self.param("d") as usize;
+                let mut n = self.size as usize;
                 if (n * d) % 2 == 1 {
                     n += 1;
                 }
@@ -372,57 +525,57 @@ impl WorkloadSpec {
                 WorkloadInstance::Orientation(g)
             }
             "grid" => {
-                let side = (self.size as usize).max(2);
+                let side = self.size as usize;
                 WorkloadInstance::Orientation(td_graph::gen::classic::grid(side, side))
             }
             "torus" => {
-                let side = (self.size as usize).max(3);
+                let side = self.size as usize;
                 WorkloadInstance::Orientation(td_graph::gen::classic::torus(side, side))
             }
             "hypercube" => {
-                let dim = (self.size as usize).clamp(1, 10);
+                let dim = self.size as usize;
                 WorkloadInstance::Orientation(td_graph::gen::classic::hypercube(dim))
             }
             "small-world" => {
-                let k = ((self.param("k") as usize).max(2) / 2) * 2;
-                let n = (self.size as usize).max(k + 2);
-                let p = f64::from(self.param("p_pct").min(100)) / 100.0;
+                // Ring-lattice degree must be even; k rounds down.
+                let k = (self.param("k") as usize / 2) * 2;
+                let n = self.size as usize;
+                let p = f64::from(self.param("p_pct")) / 100.0;
                 let g = td_graph::gen::random::small_world(n, k, p, &mut rng);
                 let trace = self.orient_trace(&g, &mut rng);
                 WorkloadInstance::OrientChurn { graph: g, trace }
             }
             "power-law" => {
-                let m = (self.param("m") as usize).clamp(1, 4);
-                let n = (self.size as usize).max(m + 2);
+                let m = self.param("m") as usize;
+                let n = self.size as usize;
                 let g = td_graph::gen::random::preferential_attachment(n, m, &mut rng);
                 let trace = self.orient_trace(&g, &mut rng);
                 WorkloadInstance::OrientChurn { graph: g, trace }
             }
             "layered" => {
-                let width = (self.size as usize).max(2);
-                let levels = (self.param("levels") as usize).clamp(1, 8);
-                let delta = (self.param("delta") as usize).clamp(1, 6);
-                let density = f64::from(self.param("density_pct").min(100)) / 100.0;
+                let width = self.size as usize;
+                let levels = self.param("levels") as usize;
+                let delta = self.param("delta") as usize;
+                let density = f64::from(self.param("density_pct")) / 100.0;
                 let widths = vec![width; levels + 1];
                 WorkloadInstance::Game(TokenGame::random(&widths, delta, density, &mut rng))
             }
             "hourglass" => {
-                let w = (self.size as usize).max(4);
-                let delta = (self.param("delta") as usize).clamp(1, 6);
-                let density = f64::from(self.param("density_pct").min(100)) / 100.0;
-                let pinch = (w / 4).max(1);
-                let widths = [w, (w / 2).max(1), pinch, (w / 2).max(1), w];
+                let w = self.size as usize;
+                let delta = self.param("delta") as usize;
+                let density = f64::from(self.param("density_pct")) / 100.0;
+                let widths = [w, w / 2, w / 4, w / 2, w];
                 WorkloadInstance::Game(TokenGame::random(&widths, delta, density, &mut rng))
             }
             "rotor" => {
-                let w = (self.size as usize).max(2);
+                let w = self.size as usize;
                 WorkloadInstance::Game(crate::scenario::rotor_sweep_game(w))
             }
             "zipf-cluster" => {
-                let ns = (self.size as usize).max(2);
-                let clusters = (self.param("clusters") as usize).clamp(1, ns);
+                let ns = self.size as usize;
+                let clusters = self.param("clusters") as usize;
                 let alpha = f64::from(self.param("alpha_pct")) / 100.0;
-                let nc = (self.param("cps") as usize).max(1) * ns;
+                let nc = self.param("cps") as usize * ns;
                 let g = td_graph::gen::random::clustered_zipf_bipartite(
                     nc,
                     ns,
@@ -439,8 +592,8 @@ impl WorkloadSpec {
                 }
             }
             "uniform-assign" => {
-                let ns = (self.size as usize).max(2);
-                let nc = (self.param("cps") as usize).max(1) * ns;
+                let ns = self.size as usize;
+                let nc = self.param("cps") as usize * ns;
                 let inst = AssignmentInstance::random(nc, ns, 1..=3.min(ns), &mut rng);
                 let b = self.param("bound");
                 WorkloadInstance::Assignment {
@@ -449,8 +602,8 @@ impl WorkloadSpec {
                 }
             }
             "churn-orient" => {
-                let d = (self.param("d") as usize).clamp(2, 6);
-                let mut n = (self.size as usize).max(d + 2);
+                let d = self.param("d") as usize;
+                let mut n = self.size as usize;
                 if (n * d) % 2 == 1 {
                     n += 1;
                 }
@@ -460,13 +613,13 @@ impl WorkloadSpec {
                 WorkloadInstance::OrientChurn { graph: g, trace }
             }
             "churn-assign" => {
-                let ns = (self.size as usize).max(3);
-                let base = AssignmentInstance::random(2 * ns, ns, 2.min(ns)..=3.min(ns), &mut rng);
+                let ns = self.size as usize;
+                let base = AssignmentInstance::random(2 * ns, ns, 2..=3.min(ns), &mut rng);
                 let trace = self.assign_trace(&base, ns, &mut rng);
                 WorkloadInstance::AssignChurn { base, trace }
             }
             other => unreachable!("unregistered family '{other}'"),
-        }
+        })
     }
 
     /// A seeded flip/insert/delete event trace over `g`, valid by
@@ -479,7 +632,9 @@ impl WorkloadSpec {
             self.param("ins_w"),
             self.param("del_w"),
         );
-        let total = (fw + iw + dw).max(1);
+        // validate() guarantees a nonzero sum (and WEIGHT_MAX keeps it from
+        // overflowing).
+        let total = fw + iw + dw;
         let n = g.num_nodes() as u32;
         let mut live: Vec<(u32, u32)> = g.edge_list().map(|(_, u, v)| (u.0, v.0)).collect();
         let mut present: HashSet<(u32, u32)> =
@@ -549,7 +704,8 @@ impl WorkloadSpec {
             self.param("leave_w"),
             self.param("cap_w"),
         );
-        let total = (jw + lw + cw).max(1);
+        // validate() guarantees a nonzero sum.
+        let total = jw + lw + cw;
         let mut alive: Vec<u32> = (0..base.num_customers() as u32).collect();
         let mut next_id = base.num_customers() as u32;
         let mut drained: Option<u32> = None;
@@ -639,7 +795,7 @@ pub fn family_listing() -> String {
         let params = f
             .params
             .iter()
-            .map(|(k, v)| format!("{k}={v}"))
+            .map(|p| format!("{}={}", p.name, p.default))
             .collect::<Vec<_>>()
             .join(" ");
         t.row(vec![
@@ -704,10 +860,59 @@ mod tests {
     }
 
     #[test]
+    fn validation_rejects_degenerate_specs() {
+        // size=0 / zero-valued params used to slip through and build
+        // silently-patched instances; they are now parse/build errors.
+        for bad in [
+            "torus:size=0",
+            "grid:size=0",
+            "grid:size=1",
+            "hypercube:size=0",
+            "hypercube:size=11",
+            "regular:size=24:d=1",
+            "regular:size=24:d=5",
+            "regular:size=4:d=3", // size < d + 2
+            "small-world:size=32:k=40",
+            "small-world:p_pct=200",
+            "power-law:size=3:m=2", // size < m + 2
+            "layered:levels=0",
+            "layered:density_pct=0",
+            "layered:density_pct=101",
+            "hourglass:size=3",
+            "zipf-cluster:size=2:clusters=3",
+            "zipf-cluster:cps=0",
+            "uniform-assign:size=1",
+            "churn-orient:flip_w=0:ins_w=0:del_w=0",
+            "churn-assign:join_w=0:leave_w=0:cap_w=0",
+            "churn-assign:size=2",
+        ] {
+            assert!(WorkloadSpec::parse(bad).is_err(), "{bad}: should reject");
+        }
+        // build() re-validates, so with_size/with_param can't sneak a
+        // degenerate spec past parse().
+        let spec = WorkloadSpec::new("torus").unwrap().with_size(0);
+        assert!(spec.validate().is_err());
+        assert!(spec.build().is_err());
+    }
+
+    #[test]
+    fn validation_accepts_defaults_and_single_zero_weights() {
+        for f in FAMILIES {
+            let spec = WorkloadSpec::new(f.name).unwrap();
+            assert!(spec.validate().is_ok(), "{}: default spec", f.name);
+            assert!(spec.build().is_ok(), "{}: default build", f.name);
+        }
+        // Individual weights may be zero as long as the mix sums to >= 1
+        // (the serve stamp-horizon test runs a pure-flip mix this way).
+        let spec = WorkloadSpec::parse("churn-orient:flip_w=1:ins_w=0:del_w=0").unwrap();
+        assert!(spec.build().is_ok());
+    }
+
+    #[test]
     fn build_is_deterministic_per_spec() {
         for f in FAMILIES {
             let spec = WorkloadSpec::new(f.name).unwrap().with_seed(3);
-            let (a, b) = (spec.build(), spec.build());
+            let (a, b) = (spec.build().unwrap(), spec.build().unwrap());
             let shape = |w: &WorkloadInstance| match w {
                 WorkloadInstance::Game(g) => (g.num_nodes(), g.graph().num_edges()),
                 WorkloadInstance::Orientation(g) => (g.num_nodes(), g.num_edges()),
@@ -730,7 +935,7 @@ mod tests {
         // The trace generator tracks the evolving edge set; every flip and
         // delete must name an edge that exists at that point in the trace.
         let spec = WorkloadSpec::parse("churn-orient:size=32:seed=5:events=40").unwrap();
-        let WorkloadInstance::OrientChurn { graph, trace } = spec.build() else {
+        let WorkloadInstance::OrientChurn { graph, trace } = spec.build().unwrap() else {
             panic!("churn-orient builds a churn instance");
         };
         assert_eq!(trace.len(), 40);
@@ -757,7 +962,7 @@ mod tests {
     #[test]
     fn assign_traces_respect_capacity_alternation() {
         let spec = WorkloadSpec::parse("churn-assign:size=5:seed=8:events=40").unwrap();
-        let WorkloadInstance::AssignChurn { base, trace } = spec.build() else {
+        let WorkloadInstance::AssignChurn { base, trace } = spec.build().unwrap() else {
             panic!("churn-assign builds a churn instance");
         };
         assert_eq!(trace.len(), 40);

@@ -102,6 +102,140 @@ pub enum ChurnEvent {
     },
 }
 
+impl ChurnEvent {
+    /// Encodes the event as one `td-trace/v1` line: a lowercase keyword
+    /// followed by space-separated integer operands (`join` uses a
+    /// comma-separated server list, `-` when empty). [`decode`] inverts
+    /// this exactly.
+    ///
+    /// [`decode`]: ChurnEvent::decode
+    pub fn encode(&self) -> String {
+        match self {
+            ChurnEvent::EdgeInsert { u, v } => format!("ins {} {}", u.0, v.0),
+            ChurnEvent::EdgeDelete { u, v } => format!("del {} {}", u.0, v.0),
+            ChurnEvent::EdgeFlip { u, v } => format!("flip {} {}", u.0, v.0),
+            ChurnEvent::TokenArrive(v) => format!("arrive {}", v.0),
+            ChurnEvent::TokenDrop(v) => format!("drop {}", v.0),
+            ChurnEvent::CustomerJoin { servers } => {
+                if servers.is_empty() {
+                    "join -".to_string()
+                } else {
+                    let list: Vec<String> = servers.iter().map(u32::to_string).collect();
+                    format!("join {}", list.join(","))
+                }
+            }
+            ChurnEvent::CustomerLeave(c) => format!("leave {c}"),
+            ChurnEvent::ServerCapacity { server, capacity } => {
+                format!("cap {server} {capacity}")
+            }
+        }
+    }
+
+    /// Parses one [`encode`](ChurnEvent::encode)d line. Unknown keywords,
+    /// wrong arities, and malformed integers are diagnostics, never panics
+    /// — a trace file from a newer schema degrades into a readable error.
+    pub fn decode(line: &str) -> Result<ChurnEvent, String> {
+        let mut it = line.split_ascii_whitespace();
+        let kw = it.next().ok_or_else(|| "empty event line".to_string())?;
+        let args: Vec<&str> = it.collect();
+        let arity = |n: usize| -> Result<(), String> {
+            if args.len() == n {
+                Ok(())
+            } else {
+                Err(format!(
+                    "'{kw}' event: expected {n} operand(s), got {}",
+                    args.len()
+                ))
+            }
+        };
+        let int = |raw: &str| -> Result<u32, String> {
+            raw.parse()
+                .map_err(|_| format!("'{kw}' event: '{raw}' is not a u32"))
+        };
+        match kw {
+            "ins" | "del" | "flip" => {
+                arity(2)?;
+                let (u, v) = (NodeId(int(args[0])?), NodeId(int(args[1])?));
+                Ok(match kw {
+                    "ins" => ChurnEvent::EdgeInsert { u, v },
+                    "del" => ChurnEvent::EdgeDelete { u, v },
+                    _ => ChurnEvent::EdgeFlip { u, v },
+                })
+            }
+            "arrive" => {
+                arity(1)?;
+                Ok(ChurnEvent::TokenArrive(NodeId(int(args[0])?)))
+            }
+            "drop" => {
+                arity(1)?;
+                Ok(ChurnEvent::TokenDrop(NodeId(int(args[0])?)))
+            }
+            "join" => {
+                arity(1)?;
+                let servers = if args[0] == "-" {
+                    Vec::new()
+                } else {
+                    args[0].split(',').map(int).collect::<Result<_, _>>()?
+                };
+                Ok(ChurnEvent::CustomerJoin { servers })
+            }
+            "leave" => {
+                arity(1)?;
+                Ok(ChurnEvent::CustomerLeave(int(args[0])?))
+            }
+            "cap" => {
+                arity(2)?;
+                Ok(ChurnEvent::ServerCapacity {
+                    server: int(args[0])?,
+                    capacity: int(args[1])?,
+                })
+            }
+            other => Err(format!("unknown event keyword '{other}'")),
+        }
+    }
+}
+
+/// A pass-through event sink: hand every applied [`ChurnEvent`] to
+/// [`record`](TraceRecorder::record) and the recorder accumulates the
+/// stream for serialization (the `td trace record` capture hook). Engines
+/// stay unaware of recording — the caller tees events on the way in.
+#[derive(Clone, Debug, Default)]
+pub struct TraceRecorder {
+    events: Vec<ChurnEvent>,
+}
+
+impl TraceRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one event to the recorded stream.
+    pub fn record(&mut self, ev: &ChurnEvent) {
+        self.events.push(ev.clone());
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The recorded stream, in arrival order.
+    pub fn events(&self) -> &[ChurnEvent] {
+        &self.events
+    }
+
+    /// Consumes the recorder, yielding the recorded stream.
+    pub fn into_events(self) -> Vec<ChurnEvent> {
+        self.events
+    }
+}
+
 /// Deterministic round-robin symmetry breaking for repair protocols: in
 /// `cycle`, node `id` takes the *active* role iff bit `(cycle / 2) mod
 /// bits` of its identifier equals the cycle's polarity `cycle mod 2`.
@@ -999,6 +1133,86 @@ mod tests {
     use crate::protocol::{Inbox, NodeInit, Outbox, RoundCtx};
     use td_graph::gen::classic::{cycle, path};
     use td_graph::Port;
+
+    #[test]
+    fn churn_events_encode_decode_roundtrip() {
+        let all = [
+            ChurnEvent::EdgeInsert {
+                u: NodeId(3),
+                v: NodeId(9),
+            },
+            ChurnEvent::EdgeDelete {
+                u: NodeId(0),
+                v: NodeId(1),
+            },
+            ChurnEvent::EdgeFlip {
+                u: NodeId(7),
+                v: NodeId(7),
+            },
+            ChurnEvent::TokenArrive(NodeId(12)),
+            ChurnEvent::TokenDrop(NodeId(0)),
+            ChurnEvent::CustomerJoin {
+                servers: vec![4, 0, 2],
+            },
+            ChurnEvent::CustomerJoin { servers: vec![] },
+            ChurnEvent::CustomerLeave(99),
+            ChurnEvent::ServerCapacity {
+                server: 5,
+                capacity: 0,
+            },
+            ChurnEvent::ServerCapacity {
+                server: u32::MAX,
+                capacity: u32::MAX,
+            },
+        ];
+        for ev in &all {
+            let line = ev.encode();
+            assert!(!line.contains('\n'), "{line:?}: single line");
+            let back = ChurnEvent::decode(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
+            assert_eq!(&back, ev, "{line}");
+        }
+    }
+
+    #[test]
+    fn churn_event_decode_rejects_malformed_lines() {
+        for bad in [
+            "",
+            "teleport 3 4",      // unknown keyword (future schema variant)
+            "ins 3",             // arity
+            "ins 3 4 5",         // arity
+            "flip x 4",          // not a u32
+            "arrive -1",         // negative
+            "join",              // missing list
+            "join 1,,2",         // empty list element
+            "cap 5",             // arity
+            "leave 99999999999", // u32 overflow
+        ] {
+            let err = ChurnEvent::decode(bad);
+            assert!(err.is_err(), "{bad:?}: should be rejected, got {err:?}");
+        }
+        // The diagnostic names the offending keyword.
+        let msg = ChurnEvent::decode("teleport 3 4").unwrap_err();
+        assert!(msg.contains("teleport"), "{msg}");
+    }
+
+    #[test]
+    fn trace_recorder_accumulates_in_order() {
+        let mut rec = TraceRecorder::new();
+        assert!(rec.is_empty());
+        let evs = [
+            ChurnEvent::EdgeFlip {
+                u: NodeId(1),
+                v: NodeId(2),
+            },
+            ChurnEvent::CustomerLeave(3),
+        ];
+        for ev in &evs {
+            rec.record(ev);
+        }
+        assert_eq!(rec.len(), 2);
+        assert_eq!(rec.events(), &evs[..]);
+        assert_eq!(rec.into_events(), evs.to_vec());
+    }
 
     /// Relaxation to a fixpoint: each node holds a value; when woken it
     /// adopts `max(own, received)` and gossips only on change. Quiesces as

@@ -85,7 +85,9 @@ pub mod shard;
 pub mod sim;
 mod spsc;
 
-pub use churn::{ChurnError, ChurnEvent, ChurnSim, RepairMode, RepairStats, WakeSet};
+pub use churn::{
+    ChurnError, ChurnEvent, ChurnSim, RepairMode, RepairStats, TraceRecorder, WakeSet,
+};
 pub use metrics::{ExecPerf, RoundStats, RunSummary, ShardExecStats, SimOutcome, Summarize};
 pub use protocol::{Inbox, NodeInit, Outbox, Protocol, RoundCtx, Status};
 pub use sim::{Executor, Simulator};

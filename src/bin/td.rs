@@ -16,7 +16,8 @@ use token_dropping::orient::phases::{solve_stable_orientation, PhaseConfig};
 use token_dropping::orient::protocol::run_distributed;
 use token_dropping::prelude::*;
 
-const USAGE: &str = "usage: td <gen|info|orient|game|assign|bench|churn|fuzz|perf|serve> ... \
+const USAGE: &str =
+    "usage: td <gen|info|orient|game|assign|bench|churn|fuzz|perf|serve|trace> ... \
      (td --help for details)";
 
 const HELP: &str = "\
@@ -79,6 +80,25 @@ USAGE:
                                        p50/p99/p999 repair latency; --rate 0
                                        (the default) emits unpaced, --out
                                        writes the td-serve/v1 JSON report
+  td trace                             list the recorded workload shapes
+  td trace record --spec <spec> [--out FILE]
+  td trace record --shape <name> [--size N] [--seed S] [--events N] [--out FILE]
+                                       record a churn event stream into a
+                                       portable td-trace/v1 file: either a
+                                       spec's own seeded mix, or a registered
+                                       shape (diurnal, rack-burst, drain-wave,
+                                       flash-crowd, hotspot)
+  td trace info <file>                 header, event mix, and fingerprint
+  td trace replay <file> [--consumer engine|differential|serve|all]
+           [--threads T] [--shards K] [--full] [--rate R]
+                                       replay a trace through the repair
+                                       engines (any executor), the fuzz
+                                       differential, or a live serve session;
+                                       every consumer reports the same
+                                       solution fingerprint
+  td trace convert <file> --seed S [--out FILE]
+                                       re-derive the same recording under a
+                                       new seed
   td --help | -h                       this text
 
 FILES:
@@ -92,6 +112,7 @@ EXAMPLES:
   td churn rolling-restart --events 20 --compare
   td fuzz --budget 64 --seed 7
   td serve churn-orient --size 48 --rate 2000 --budget 256
+  td trace record --shape rack-burst | td trace replay - --consumer all
 ";
 
 /// Restore the default SIGPIPE disposition. Rust ignores SIGPIPE at
@@ -135,6 +156,7 @@ fn run(args: &[String]) -> i32 {
         Some("fuzz") => cmd_fuzz(&args[1..]),
         Some("perf") => cmd_perf(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
         Some(other) => {
             eprintln!("td: unknown subcommand '{other}'");
             eprintln!("{USAGE}");
@@ -737,6 +759,12 @@ fn cmd_serve(args: &[String]) -> i32 {
     cfg.spec = cfg.spec.with_size(flags.size).with_seed(flags.seed);
     cfg.threads = flags.threads;
     cfg.shards = flags.shards;
+    // A degenerate spec (size 0, out-of-range params) is a usage error,
+    // not a runtime failure — reject it before spinning up the daemon.
+    if let Err(e) = cfg.spec.validate() {
+        eprintln!("td serve: {e}");
+        return 2;
+    }
     let report = match serve::serve(&cfg) {
         Ok(r) => r,
         Err(e) => {
@@ -754,6 +782,338 @@ fn cmd_serve(args: &[String]) -> i32 {
         println!("\n{} report written to {path}", serve::SCHEMA);
     }
     0
+}
+
+fn cmd_trace(args: &[String]) -> i32 {
+    use td_bench::trace;
+    match args.first().map(String::as_str) {
+        None => {
+            println!("recorded workload shapes:\n");
+            print!("{}", trace::shape_listing());
+            println!(
+                "\nrecord one with: td trace record --shape <name> [--size N] [--seed S] \
+                 [--events N]\nor a spec mix:   td trace record --spec '<spec>'"
+            );
+            0
+        }
+        Some("record") => trace_record(&args[1..]),
+        Some("info") => trace_info(&args[1..]),
+        Some("replay") => trace_replay(&args[1..]),
+        Some("convert") => trace_convert(&args[1..]),
+        Some(other) => {
+            eprintln!("td trace: unknown action '{other}' (record|info|replay|convert)");
+            2
+        }
+    }
+}
+
+/// Emits a finished trace to `--out` or stdout (the pipeline-first default).
+fn trace_emit(doc: &str, out: Option<&str>) -> i32 {
+    match out {
+        None => {
+            print!("{doc}");
+            0
+        }
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, doc) {
+                eprintln!("td trace: cannot write {path}: {e}");
+                return 1;
+            }
+            println!("{} trace written to {path}", td_bench::trace::SCHEMA);
+            0
+        }
+    }
+}
+
+/// Loads and parses a trace file; any malformation is a data error (exit 1).
+fn trace_load(cmd: &str, path: &str) -> Result<td_bench::Trace, i32> {
+    td_bench::Trace::read(&read_input(path)).map_err(|e| {
+        eprintln!("{cmd}: {path}: {e}");
+        1
+    })
+}
+
+fn trace_record(args: &[String]) -> i32 {
+    use td_bench::trace::{find_shape, Trace};
+    use td_bench::WorkloadSpec;
+    let mut spec_str: Option<String> = None;
+    let mut shape: Option<String> = None;
+    let mut size: Option<u32> = None;
+    let mut seed: Option<u64> = None;
+    let mut events: Option<u32> = None;
+    let mut out: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let Some(raw) = args.get(i + 1) else {
+            eprintln!("td trace record: {flag} needs a value");
+            return 2;
+        };
+        match flag {
+            "--spec" => spec_str = Some(raw.clone()),
+            "--shape" => shape = Some(raw.clone()),
+            "--out" => out = Some(raw.clone()),
+            "--size" | "--seed" | "--events" => {
+                let Ok(v) = raw.parse::<u64>() else {
+                    eprintln!("td trace record: {flag} needs an integer");
+                    return 2;
+                };
+                match flag {
+                    "--size" => size = Some(v as u32),
+                    "--events" => events = Some(v as u32),
+                    _ => seed = Some(v),
+                }
+            }
+            other => {
+                eprintln!("td trace record: unknown flag '{other}'");
+                return 2;
+            }
+        }
+        i += 2;
+    }
+    let trace = match (spec_str, shape) {
+        (Some(s), None) => {
+            if size.is_some() || seed.is_some() || events.is_some() {
+                eprintln!(
+                    "td trace record: --size/--seed/--events apply to --shape; \
+                     with --spec, put them in the spec string"
+                );
+                return 2;
+            }
+            let spec = match WorkloadSpec::parse(&s) {
+                Ok(sp) => sp,
+                Err(e) => {
+                    eprintln!("td trace record: {e}");
+                    return 2;
+                }
+            };
+            match Trace::from_spec(&spec) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("td trace record: {e}");
+                    return 2;
+                }
+            }
+        }
+        (None, Some(name)) => {
+            let info = match find_shape(&name) {
+                Ok(i) => i,
+                Err(e) => {
+                    eprintln!("td trace record: {e}");
+                    return 2;
+                }
+            };
+            match Trace::from_shape(
+                &name,
+                size.unwrap_or(info.default_size),
+                seed.unwrap_or(42),
+                events.unwrap_or(info.default_events),
+            ) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("td trace record: {e}");
+                    return 2;
+                }
+            }
+        }
+        _ => {
+            eprintln!("td trace record: exactly one of --spec or --shape is required");
+            return 2;
+        }
+    };
+    trace_emit(&trace.write(), out.as_deref())
+}
+
+fn trace_info(args: &[String]) -> i32 {
+    let [path] = args else {
+        eprintln!("td trace info: expects exactly one file argument ('-' for stdin)");
+        return 2;
+    };
+    match trace_load("td trace info", path) {
+        Ok(t) => {
+            t.summary_table().print();
+            0
+        }
+        Err(code) => code,
+    }
+}
+
+fn trace_replay(args: &[String]) -> i32 {
+    use td_bench::trace::{replay_differential, replay_engine, replay_serve};
+    use token_dropping::local::RepairMode;
+    let Some(path) = args
+        .first()
+        .filter(|a| !a.starts_with('-') || a.as_str() == "-")
+    else {
+        eprintln!("td trace replay: expects a file argument first ('-' for stdin)");
+        return 2;
+    };
+    let path = path.clone();
+    let mut consumer = "engine".to_string();
+    let mut rate: u64 = 0;
+    let mut rest: Vec<String> = Vec::new();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--consumer" => match args.get(i + 1).map(String::as_str) {
+                Some(c @ ("engine" | "differential" | "serve" | "all")) => {
+                    consumer = c.to_string();
+                    i += 2;
+                }
+                _ => {
+                    eprintln!("td trace replay: --consumer needs engine|differential|serve|all");
+                    return 2;
+                }
+            },
+            "--rate" => match args.get(i + 1).and_then(|r| r.parse().ok()) {
+                Some(v) => {
+                    rate = v;
+                    i += 2;
+                }
+                None => {
+                    eprintln!("td trace replay: --rate needs an integer (events/sec; 0 = unpaced)");
+                    return 2;
+                }
+            },
+            _ => {
+                rest.push(args[i].clone());
+                i += 1;
+            }
+        }
+    }
+    let mut flags = RunFlags::new(0, 0);
+    if let Err(code) = flags.parse("td trace replay", &rest, &["--shards", "--full"]) {
+        return code;
+    }
+    let mode = if flags.full {
+        RepairMode::FullRecompute
+    } else {
+        RepairMode::Incremental
+    };
+    let trace = match trace_load("td trace replay", &path) {
+        Ok(t) => t,
+        Err(code) => return code,
+    };
+    let mut table =
+        td_bench::Table::new(&["consumer", "events", "rounds", "messages", "fingerprint"]);
+    let mut fps: Vec<u64> = Vec::new();
+    if consumer == "engine" || consumer == "all" {
+        match replay_engine(&trace, mode, flags.threads, flags.shards) {
+            Ok(o) => {
+                fps.push(o.solution_fp);
+                table.row(vec![
+                    "engine".to_string(),
+                    o.events.to_string(),
+                    o.stats.rounds.to_string(),
+                    o.stats.messages.to_string(),
+                    format!("{:016x}", o.solution_fp),
+                ]);
+            }
+            Err(e) => {
+                eprintln!("td trace replay: engine: {e}");
+                return 1;
+            }
+        }
+    }
+    if consumer == "differential" || consumer == "all" {
+        match replay_differential(&trace) {
+            Ok(r) => table.row(vec![
+                format!("differential({}x)", r.compared),
+                trace.events.len().to_string(),
+                r.rounds.to_string(),
+                r.messages.to_string(),
+                "-".to_string(),
+            ]),
+            Err(e) => {
+                eprintln!("td trace replay: differential: {e}");
+                return 1;
+            }
+        }
+    }
+    if consumer == "serve" || consumer == "all" {
+        match replay_serve(&trace, rate, flags.threads, flags.shards) {
+            Ok(r) => {
+                fps.push(r.fingerprint);
+                table.row(vec![
+                    "serve".to_string(),
+                    r.events.to_string(),
+                    r.repair.rounds.to_string(),
+                    r.repair.messages.to_string(),
+                    format!("{:016x}", r.fingerprint),
+                ]);
+            }
+            Err(e) => {
+                eprintln!("td trace replay: serve: {e}");
+                return 1;
+            }
+        }
+    }
+    table.print();
+    if fps.windows(2).any(|w| w[0] != w[1]) {
+        eprintln!("td trace replay: consumers disagree on the solution fingerprint");
+        return 1;
+    }
+    if consumer == "all" {
+        println!("\nall consumers agree: fingerprint {:016x}", fps[0]);
+    }
+    0
+}
+
+fn trace_convert(args: &[String]) -> i32 {
+    let Some(path) = args
+        .first()
+        .filter(|a| !a.starts_with('-') || a.as_str() == "-")
+    else {
+        eprintln!("td trace convert: expects a file argument first ('-' for stdin)");
+        return 2;
+    };
+    let path = path.clone();
+    let mut seed: Option<u64> = None;
+    let mut out: Option<String> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => match args.get(i + 1).and_then(|r| r.parse().ok()) {
+                Some(v) => {
+                    seed = Some(v);
+                    i += 2;
+                }
+                None => {
+                    eprintln!("td trace convert: --seed needs an integer");
+                    return 2;
+                }
+            },
+            "--out" => match args.get(i + 1) {
+                Some(p) => {
+                    out = Some(p.clone());
+                    i += 2;
+                }
+                None => {
+                    eprintln!("td trace convert: --out needs a file path");
+                    return 2;
+                }
+            },
+            other => {
+                eprintln!("td trace convert: unknown flag '{other}'");
+                return 2;
+            }
+        }
+    }
+    let Some(seed) = seed else {
+        eprintln!("td trace convert: --seed is required (the point of converting)");
+        return 2;
+    };
+    let trace = match trace_load("td trace convert", &path) {
+        Ok(t) => t,
+        Err(code) => return code,
+    };
+    match trace.reseed(seed) {
+        Ok(t) => trace_emit(&t.write(), out.as_deref()),
+        Err(e) => {
+            eprintln!("td trace convert: {e}");
+            1
+        }
+    }
 }
 
 fn read_input(path: &str) -> String {

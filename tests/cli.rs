@@ -550,3 +550,204 @@ fn churn_flag_errors_exit_2() {
         .unwrap();
     assert_eq!(out.status.code(), Some(2));
 }
+
+#[test]
+fn trace_lists_shapes_without_args() {
+    let (out, _, ok) = run_td(&["trace"], None);
+    assert!(ok);
+    for shape in [
+        "diurnal",
+        "rack-burst",
+        "drain-wave",
+        "flash-crowd",
+        "hotspot",
+    ] {
+        assert!(out.contains(shape), "missing shape {shape}: {out}");
+    }
+}
+
+#[test]
+fn trace_record_replay_pipeline_agrees_on_fingerprints() {
+    let (doc, _, ok) = run_td(
+        &[
+            "trace",
+            "record",
+            "--shape",
+            "drain-wave",
+            "--events",
+            "24",
+            "--seed",
+            "9",
+        ],
+        None,
+    );
+    assert!(ok, "record failed");
+    assert!(doc.starts_with("td-trace/v1\n"), "{doc}");
+    assert!(doc.contains("source shape:drain-wave"), "{doc}");
+    assert!(doc.trim_end().ends_with("end"), "{doc}");
+
+    let (info, _, ok) = run_td(&["trace", "info", "-"], Some(&doc));
+    assert!(ok, "info failed");
+    assert!(info.contains("td-trace/v1"), "{info}");
+    assert!(info.contains("24"), "{info}");
+
+    let (replay, _, ok) = run_td(
+        &[
+            "trace",
+            "replay",
+            "-",
+            "--consumer",
+            "all",
+            "--threads",
+            "2",
+            "--shards",
+            "2",
+        ],
+        Some(&doc),
+    );
+    assert!(ok, "replay failed: {replay}");
+    assert!(replay.contains("all consumers agree"), "{replay}");
+    // Engine and serve rows print the same 16-hex fingerprint.
+    let fps: Vec<&str> = replay
+        .lines()
+        .filter(|l| l.trim_start().starts_with("engine") || l.trim_start().starts_with("serve"))
+        .filter_map(|l| l.split_whitespace().last())
+        .collect();
+    assert_eq!(fps.len(), 2, "{replay}");
+    assert_eq!(fps[0], fps[1], "{replay}");
+}
+
+#[test]
+fn trace_record_spec_mix_matches_a_serve_run() {
+    let (doc, _, ok) = run_td(
+        &[
+            "trace",
+            "record",
+            "--spec",
+            "churn-orient:size=24:seed=6:events=16",
+        ],
+        None,
+    );
+    assert!(ok);
+    let (replay, _, ok) = run_td(&["trace", "replay", "-", "--consumer", "serve"], Some(&doc));
+    assert!(ok, "{replay}");
+    assert!(replay.contains("serve"), "{replay}");
+}
+
+#[test]
+fn trace_convert_reseeds_deterministically() {
+    let (doc, _, ok) = run_td(
+        &[
+            "trace",
+            "record",
+            "--shape",
+            "flash-crowd",
+            "--events",
+            "20",
+        ],
+        None,
+    );
+    assert!(ok);
+    let (a, _, ok) = run_td(&["trace", "convert", "-", "--seed", "77"], Some(&doc));
+    assert!(ok, "{a}");
+    let (b, _, ok) = run_td(&["trace", "convert", "-", "--seed", "77"], Some(&doc));
+    assert!(ok);
+    assert_eq!(a, b, "conversion is deterministic");
+    assert!(a.contains("seed=77"), "{a}");
+    assert_ne!(a, doc, "a new seed records a new stream");
+}
+
+#[test]
+fn trace_flag_errors_exit_2() {
+    for bad in [
+        vec!["trace", "bogus-action"],
+        vec!["trace", "record"],
+        vec!["trace", "record", "--spec", "torus:size=8"],
+        vec!["trace", "record", "--spec", "churn-orient:size=0"],
+        vec!["trace", "record", "--spec", "not-a-family:size=8"],
+        vec!["trace", "record", "--shape", "no-such-shape"],
+        vec!["trace", "record", "--shape", "diurnal", "--size", "x"],
+        vec![
+            "trace",
+            "record",
+            "--shape",
+            "diurnal",
+            "--spec",
+            "churn-orient",
+        ],
+        vec![
+            "trace",
+            "record",
+            "--spec",
+            "churn-orient:size=24",
+            "--seed",
+            "3",
+        ],
+        vec!["trace", "record", "--out"],
+        vec!["trace", "info"],
+        vec!["trace", "info", "a", "b"],
+        vec!["trace", "replay"],
+        vec!["trace", "replay", "--consumer", "engine"],
+        vec!["trace", "convert", "-"],
+        vec!["trace", "convert", "-", "--seed", "x"],
+    ] {
+        let out = Command::new(BIN).args(&bad).output().unwrap();
+        assert_eq!(out.status.code(), Some(2), "args {bad:?}");
+        assert!(!out.stderr.is_empty(), "args {bad:?}: silent failure");
+    }
+}
+
+#[test]
+fn trace_malformed_files_exit_1_with_diagnostics() {
+    let (doc, _, ok) = run_td(
+        &["trace", "record", "--shape", "hotspot", "--events", "8"],
+        None,
+    );
+    assert!(ok);
+    for (mangled, needle) in [
+        (doc.replacen("td-trace/v1", "td-trace/v9", 1), "schema"),
+        (
+            doc.lines()
+                .take(8)
+                .map(|l| format!("{l}\n"))
+                .collect::<String>(),
+            "truncated",
+        ),
+        (doc.replacen("flip ", "teleport ", 1), "teleport"),
+    ] {
+        let out = {
+            let mut cmd = Command::new(BIN);
+            cmd.args(["trace", "replay", "-"])
+                .stdin(Stdio::piped())
+                .stdout(Stdio::piped())
+                .stderr(Stdio::piped());
+            let mut child = cmd.spawn().unwrap();
+            child
+                .stdin
+                .as_mut()
+                .unwrap()
+                .write_all(mangled.as_bytes())
+                .unwrap();
+            child.wait_with_output().unwrap()
+        };
+        assert_eq!(out.status.code(), Some(1), "needle {needle}");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains(needle), "stderr {err}");
+    }
+}
+
+/// Degenerate specs are usage errors (exit 2) at every spec-accepting
+/// entry point, not panics or runtime failures.
+#[test]
+fn degenerate_specs_exit_2_everywhere() {
+    for bad in [
+        vec!["fuzz", "--spec", "torus:size=0"],
+        vec!["fuzz", "--spec", "regular:size=4:d=3"],
+        vec!["serve", "churn-orient", "--size", "0"],
+        vec!["trace", "record", "--spec", "small-world:size=32:k=40"],
+    ] {
+        let out = Command::new(BIN).args(&bad).output().unwrap();
+        assert_eq!(out.status.code(), Some(2), "args {bad:?}");
+        assert!(!out.stderr.is_empty(), "args {bad:?}: silent failure");
+    }
+}
