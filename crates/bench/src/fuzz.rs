@@ -31,6 +31,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use td_assign::protocol::run_distributed_assignment;
 use td_assign::repair::AssignChurnEngine;
 use td_assign::AssignmentInstance;
+use td_balance::{total_of, BalanceInstance, ExecPoint};
 use td_core::{proposal, TokenGame};
 use td_graph::{CsrGraph, NodeId};
 use td_local::churn::{ChurnEvent, RepairMode, RepairStats};
@@ -196,6 +197,140 @@ fn compare_counts(label: &str, got: (u64, u64), reference: (u64, u64)) -> Result
             "{label}: rounds/messages {}/{} != reference {}/{}",
             got.0, got.1, reference.0, reference.1
         ))
+    }
+}
+
+// ---------------------------------------------------- balance protocols ---
+
+/// Runs the balance-protocol differential for one spec: every registered
+/// balancer ([`td_balance::registry`]) on the spec's projected node-load
+/// workload ([`crate::compare::balance_workload`]), cross-checked three
+/// ways — **verifier acceptance** (each protocol's own verifier accepts
+/// every run: balanced, token-conserving, potential books to the token),
+/// **executor differential** (the sequential reference vs parallel and
+/// thread × shard grid points must produce bit-identical [`BalanceRun`]s,
+/// fingerprints included), and **metamorphic relabeling** (a seeded node
+/// relabeling of the instance, loads and churn events carried along, must
+/// still verify, balance, and conserve the token total). Panics are caught
+/// like [`check`].
+///
+/// [`BalanceRun`]: td_balance::BalanceRun
+///
+/// ```
+/// use td_bench::fuzz;
+/// use td_bench::spec::WorkloadSpec;
+///
+/// let spec = WorkloadSpec::parse("rotor:size=4:seed=1").unwrap();
+/// let rep = fuzz::check_balance(&spec).expect("rotor at width 4 balances clean");
+/// assert!(rep.compared >= 4); // grid points + relabeled twin, per protocol
+/// ```
+pub fn check_balance(spec: &WorkloadSpec) -> Result<FuzzReport, String> {
+    let spec = spec.clone();
+    catch_unwind(AssertUnwindSafe(move || check_balance_inner(&spec)))
+        .unwrap_or_else(|p| Err(format!("panicked: {}", panic_message(p.as_ref()))))
+}
+
+fn check_balance_inner(spec: &WorkloadSpec) -> Result<FuzzReport, String> {
+    let (graph, events) = crate::compare::balance_workload(spec)?;
+    let inst = BalanceInstance::seeded(graph, spec.seed);
+    let nodes = inst.graph.num_nodes();
+    let edges = inst.graph.num_edges();
+
+    // The relabeled twin: node v becomes perm[v], loads and events carried
+    // along. Generated traces only move edges (insert/delete/flip), which
+    // relabel cleanly; token arrivals are label-free too.
+    let perm = permutation(nodes, spec.seed);
+    let r_graph = relabel_graph(&inst.graph, &perm);
+    let mut r_load = vec![0u32; nodes];
+    for (v, &l) in inst.load.iter().enumerate() {
+        r_load[perm[v] as usize] = l;
+    }
+    let r_inst = BalanceInstance::new(r_graph, r_load);
+    if sorted_degrees(&inst.graph) != sorted_degrees(&r_inst.graph) {
+        return Err("relabeling changed the degree multiset".into());
+    }
+    let r_events: Vec<ChurnEvent> = events.iter().map(|ev| relabel_event(ev, &perm)).collect();
+
+    let grid = [
+        ExecPoint {
+            threads: 3,
+            shards: 1,
+        },
+        ExecPoint {
+            threads: 2,
+            shards: 2,
+        },
+        ExecPoint {
+            threads: 4,
+            shards: 3,
+        },
+    ];
+    let mut rounds = 0u64;
+    let mut messages = 0u64;
+    let mut compared = 0usize;
+    for proto in td_balance::registry() {
+        let name = proto.name();
+        let base = proto
+            .run(&inst, spec.seed, ExecPoint::sequential(), &events)
+            .map_err(|e| format!("balance/{name} sequential: {e}"))?;
+        rounds += base.rounds;
+        messages += base.messages;
+        for exec in grid {
+            let run = proto
+                .run(&inst, spec.seed, exec, &events)
+                .map_err(|e| format!("balance/{name} at {exec:?}: {e}"))?;
+            compare_counts(
+                &format!("balance/{name} at {}x{}", exec.threads, exec.shards),
+                (run.rounds, run.messages),
+                (base.rounds, base.messages),
+            )?;
+            if run != base {
+                return Err(format!(
+                    "balance/{name} at {}x{} diverged: fingerprint {:016x} != {:016x}",
+                    exec.threads, exec.shards, run.fingerprint, base.fingerprint
+                ));
+            }
+            compared += 1;
+        }
+        // The twin takes its own trajectory (roles follow ids) but must
+        // still verify, balance, and hold the original's token total.
+        let twin = proto
+            .run(&r_inst, spec.seed, ExecPoint::sequential(), &r_events)
+            .map_err(|e| format!("balance/{name} relabeled: {e}"))?;
+        if total_of(&twin.loads) != total_of(&base.loads) {
+            return Err(format!(
+                "balance/{name} relabeled: token total {} != {}",
+                total_of(&twin.loads),
+                total_of(&base.loads)
+            ));
+        }
+        if twin.max_gap > 1 {
+            return Err(format!(
+                "balance/{name} relabeled: final max edge gap {} > 1",
+                twin.max_gap
+            ));
+        }
+        compared += 1;
+    }
+    Ok(FuzzReport {
+        nodes,
+        edges,
+        rounds,
+        messages,
+        compared,
+    })
+}
+
+/// `ev` with every node id renamed through `perm`.
+fn relabel_event(ev: &ChurnEvent, perm: &[u32]) -> ChurnEvent {
+    let p = |v: NodeId| NodeId(perm[v.idx()]);
+    match *ev {
+        ChurnEvent::EdgeInsert { u, v } => ChurnEvent::EdgeInsert { u: p(u), v: p(v) },
+        ChurnEvent::EdgeDelete { u, v } => ChurnEvent::EdgeDelete { u: p(u), v: p(v) },
+        ChurnEvent::EdgeFlip { u, v } => ChurnEvent::EdgeFlip { u: p(u), v: p(v) },
+        ChurnEvent::TokenArrive(v) => ChurnEvent::TokenArrive(p(v)),
+        ChurnEvent::TokenDrop(v) => ChurnEvent::TokenDrop(p(v)),
+        ref other => other.clone(),
     }
 }
 
@@ -708,6 +843,22 @@ mod tests {
             }
             let rep = check(&spec).unwrap_or_else(|e| panic!("{}: {e}", repro_line(&spec)));
             assert!(rep.compared >= 3, "{name}");
+            assert!(rep.rounds > 0, "{name}");
+        }
+    }
+
+    #[test]
+    fn balance_differential_passes_per_kind_samples() {
+        // One representative per projection arm of `balance_workload`:
+        // plain graph, game graph, bipartite assignment, churn trace.
+        for name in ["torus", "rotor", "uniform-assign", "churn-orient"] {
+            let mut spec = WorkloadSpec::new(name).unwrap().with_seed(9);
+            if name == "uniform-assign" {
+                spec = spec.with_param("bound", 2);
+            }
+            let rep = check_balance(&spec).unwrap_or_else(|e| panic!("{}: {e}", repro_line(&spec)));
+            // 3 protocols x (3 grid points + relabeled twin).
+            assert_eq!(rep.compared, 12, "{name}");
             assert!(rep.rounds > 0, "{name}");
         }
     }

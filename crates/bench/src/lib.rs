@@ -13,6 +13,7 @@ use td_core::TokenGame;
 use td_graph::CsrGraph;
 
 pub mod churn;
+pub mod compare;
 pub mod fuzz;
 pub mod perf;
 pub mod scenario;
@@ -21,6 +22,7 @@ pub mod spec;
 pub mod trace;
 
 pub use churn::{ChurnReport, ChurnScenario};
+pub use compare::{CompareConfig, CompareReport, CompareRow};
 pub use perf::{PerfPoint, PerfReport, SweepConfig};
 pub use scenario::{Scenario, ScenarioKind, ScenarioReport};
 pub use serve::{ServeConfig, ServeReport};

@@ -92,11 +92,7 @@ impl LatencyHistogram {
             self.samples_ns.sort_unstable();
             self.sorted = true;
         }
-        let n = self.samples_ns.len() as u64;
-        // Nearest-rank: the smallest sample with at least permille/1000 of
-        // the distribution at or below it.
-        let rank = ((permille as u64 * n).div_ceil(1000)).max(1);
-        self.samples_ns[(rank - 1) as usize]
+        nearest_rank(&self.samples_ns, permille)
     }
 
     /// Mean sample, in nanoseconds (0 when empty).
@@ -107,6 +103,23 @@ impl LatencyHistogram {
         let sum: u128 = self.samples_ns.iter().map(|&v| v as u128).sum();
         (sum / self.samples_ns.len() as u128) as u64
     }
+}
+
+/// The exact nearest-rank percentile of an already-sorted sample vector,
+/// in permille: the smallest sample with at least `permille/1000` of the
+/// distribution at or below it. Returns 0 when empty. This is the single
+/// rank formula — [`LatencyHistogram::percentile_ns`] and every external
+/// consumer (tests included) must go through it so the two paths cannot
+/// drift.
+pub fn nearest_rank(sorted_ns: &[u64], permille: u32) -> u64 {
+    assert!(permille <= 1000, "permille percentile expected");
+    if sorted_ns.is_empty() {
+        return 0;
+    }
+    debug_assert!(sorted_ns.windows(2).all(|w| w[0] <= w[1]));
+    let n = sorted_ns.len() as u64;
+    let rank = ((permille as u64 * n).div_ceil(1000)).max(1);
+    sorted_ns[(rank - 1) as usize]
 }
 
 /// FNV-1a over a word stream — the solution-fingerprint hash every serve /
@@ -308,13 +321,29 @@ pub fn churn_families() -> Vec<&'static str> {
 }
 
 /// The scheduled emission offset of event `i` at `rate` events/sec (the
-/// open-loop tick schedule; `rate == 0` means unpaced, offset 0).
+/// open-loop tick schedule; `rate == 0` means unpaced, offset 0). The
+/// nanosecond count saturates at `u64::MAX` (~584 years) instead of
+/// silently truncating for extreme `i/rate` combinations.
 pub fn tick_offset(rate: u64, i: u64) -> Duration {
     if rate == 0 {
         Duration::ZERO
     } else {
-        Duration::from_nanos((i as u128 * 1_000_000_000 / rate as u128) as u64)
+        let ns = i as u128 * 1_000_000_000 / rate as u128;
+        Duration::from_nanos(u64::try_from(ns).unwrap_or(u64::MAX))
     }
+}
+
+/// True if the open-loop schedule of `budget` events at `rate` events/sec
+/// would run past the representable nanosecond range — i.e. the last tick
+/// saturates. The CLI rejects such `--rate`/`--budget` pairs up front
+/// (exit 2) instead of silently emitting a clamped schedule (the budget is
+/// taken as `u64` so the *requested* pair is judged, before any narrowing).
+pub fn schedule_overflows(rate: u64, budget: u64) -> bool {
+    if rate == 0 || budget == 0 {
+        return false;
+    }
+    let last = (budget as u128 - 1) * 1_000_000_000 / rate as u128;
+    last > u64::MAX as u128
 }
 
 // ---------------------------------------------------------------- report ---
@@ -408,18 +437,31 @@ impl ServeReport {
     /// Capacity of the repair plane: events/sec of pure repair work
     /// (`events / Σ apply time`). Offering more than this makes the queue
     /// grow without bound — the load level at which the plane falls behind.
+    ///
+    /// Zero accumulated busy time is handled deliberately rather than by
+    /// `0/0`: with no events the capacity is unmeasured (0.0), while events
+    /// that took no measurable repair time mean the plane is unsaturable at
+    /// this clock resolution (`f64::INFINITY`) — e.g. an all-query run or
+    /// `--budget 0`.
     pub fn saturation_eps(&self) -> f64 {
-        if self.busy_ns == 0 {
+        if self.events == 0 {
             return 0.0;
+        }
+        if self.busy_ns == 0 {
+            return f64::INFINITY;
         }
         self.events as f64 * 1e9 / self.busy_ns as f64
     }
 
     /// True if the run could not keep up with the offered rate (only
-    /// meaningful for paced runs): the offered load exceeded capacity, or
-    /// emission had to block on a full queue.
+    /// meaningful for paced runs that applied at least one event): the
+    /// offered load exceeded capacity, or emission had to block on a full
+    /// queue. A run with no events has nothing to fall behind on, even
+    /// though its measured capacity is 0.
     pub fn fell_behind(&self) -> bool {
-        self.rate > 0 && (self.rate as f64 > self.saturation_eps() || self.backpressure > 0)
+        self.rate > 0
+            && self.events > 0
+            && (self.rate as f64 > self.saturation_eps() || self.backpressure > 0)
     }
 
     /// Human-readable summary table.
@@ -782,15 +824,13 @@ mod tests {
         let mut h = LatencyHistogram::new();
         let mut vals: Vec<u64> = Vec::new();
         let mut x = 0x9e37_79b9_7f4a_7c15u64;
+        // The reference clones and sorts per call, then asks the one shared
+        // rank formula — the histogram path and this path can only differ
+        // in their sort bookkeeping, never in the rank arithmetic.
         let reference = |vals: &[u64], permille: u32| -> u64 {
-            if vals.is_empty() {
-                return 0;
-            }
             let mut sorted = vals.to_vec();
             sorted.sort_unstable();
-            let n = sorted.len() as u64;
-            let rank = ((permille as u64 * n).div_ceil(1000)).max(1);
-            sorted[(rank - 1) as usize]
+            nearest_rank(&sorted, permille)
         };
         for round in 0..4 {
             for _ in 0..337 {
@@ -824,6 +864,104 @@ mod tests {
         assert_eq!(tick_offset(4, 3), Duration::from_millis(750));
         // Integer division truncates identically on every run.
         assert_eq!(tick_offset(3, 1), Duration::from_nanos(333_333_333));
+    }
+
+    #[test]
+    fn tick_offset_saturates_instead_of_truncating() {
+        // i/rate combinations whose nanosecond count exceeds u64 used to
+        // wrap through the silent `as u64` cast; they must pin to the max.
+        assert_eq!(tick_offset(1, u64::MAX), Duration::from_nanos(u64::MAX));
+        let wrap_point = u64::MAX / 1_000_000_000 + 1;
+        assert_eq!(
+            tick_offset(1, wrap_point),
+            Duration::from_nanos(u64::MAX),
+            "first overflowing tick saturates"
+        );
+        assert_eq!(
+            tick_offset(1, wrap_point - 1),
+            Duration::from_nanos((wrap_point - 1) * 1_000_000_000),
+            "last exact tick is unchanged"
+        );
+        // Well inside the range nothing changes.
+        assert_eq!(tick_offset(1_000_000, 1), Duration::from_nanos(1_000));
+    }
+
+    #[test]
+    fn schedule_overflow_detection_brackets_the_boundary() {
+        assert!(!schedule_overflows(0, u64::MAX), "unpaced never overflows");
+        assert!(!schedule_overflows(1, 0), "empty budget never overflows");
+        assert!(!schedule_overflows(1_000, 1_000_000_000));
+        // At 1 event/sec the last tick of budget b is (b-1)·1e9 ns; u64
+        // nanoseconds hold ~584 years ≈ 18.4e9 events.
+        let limit = u64::MAX / 1_000_000_000;
+        assert!(!schedule_overflows(1, limit + 1), "last tick exactly fits");
+        assert!(schedule_overflows(1, limit + 2), "one past the horizon");
+        assert!(schedule_overflows(1, u64::MAX));
+        // Every u32-range budget is schedulable at any nonzero rate.
+        assert!(!schedule_overflows(1, u32::MAX as u64));
+    }
+
+    fn report_shell(events: u32, busy_ns: u64, rate: u64, backpressure: u64) -> ServeReport {
+        ServeReport {
+            spec: "small-world:size=8".into(),
+            engine: "orient",
+            size: 8,
+            seed: 1,
+            rate,
+            budget: events,
+            threads: 1,
+            shards: 1,
+            queue: 16,
+            nodes: 8,
+            events,
+            queries: 0,
+            backpressure,
+            max_lag_ns: 0,
+            wall_ns: 1,
+            busy_ns,
+            repair: RepairStats::accumulator(),
+            perf: ExecPerf::default(),
+            latency: LatencySummary::default(),
+            max_load: 0,
+            fingerprint: 0,
+        }
+    }
+
+    #[test]
+    fn saturation_is_well_defined_at_zero_busy_time() {
+        // No events: capacity unmeasured, nothing fell behind.
+        let idle = report_shell(0, 0, 1_000, 0);
+        assert_eq!(idle.saturation_eps(), 0.0);
+        assert!(!idle.fell_behind(), "an empty run cannot fall behind");
+        // Events with zero measurable repair time: unsaturable, and an
+        // offered rate can never exceed infinite capacity.
+        let instant = report_shell(10, 0, u64::MAX, 0);
+        assert_eq!(instant.saturation_eps(), f64::INFINITY);
+        assert!(!instant.fell_behind());
+        // ... unless emission actually blocked on the queue.
+        let blocked = report_shell(10, 0, 1_000, 3);
+        assert!(blocked.fell_behind());
+        // The ordinary path is untouched.
+        let normal = report_shell(10, 1_000_000_000, 5, 0);
+        assert_eq!(normal.saturation_eps(), 10.0);
+        assert!(!normal.fell_behind());
+        assert!(report_shell(10, 1_000_000_000, 11, 0).fell_behind());
+    }
+
+    #[test]
+    fn nearest_rank_is_the_single_percentile_implementation() {
+        // Pin the two paths — histogram vs direct — at p50/p99/p999 over
+        // an awkward length (not a divisor of 1000).
+        let mut h = LatencyHistogram::new();
+        let mut vals: Vec<u64> = (0..237).map(|i| (i * 7919) % 1000).collect();
+        for &v in &vals {
+            h.record(Duration::from_nanos(v));
+        }
+        vals.sort_unstable();
+        for p in [500, 990, 999] {
+            assert_eq!(h.percentile_ns(p), nearest_rank(&vals, p), "p{p}");
+        }
+        assert_eq!(nearest_rank(&[], 999), 0);
     }
 
     #[test]

@@ -17,7 +17,7 @@ use token_dropping::orient::protocol::run_distributed;
 use token_dropping::prelude::*;
 
 const USAGE: &str =
-    "usage: td <gen|info|orient|game|assign|bench|churn|fuzz|perf|serve|trace> ... \
+    "usage: td <gen|info|orient|game|assign|bench|churn|fuzz|perf|serve|trace|compare> ... \
      (td --help for details)";
 
 const HELP: &str = "\
@@ -99,6 +99,19 @@ USAGE:
   td trace convert <file> --seed S [--out FILE]
                                        re-derive the same recording under a
                                        new seed
+  td compare [--families f1,f2,..] [--protocols p1,p2,..] [--size N]
+             [--seed S] [--threads T] [--shards K] [--events N]
+             [--trace FILE]... [--out FILE]
+                                       race the competing balancers (token
+                                       dropping vs rotor-router vs matching
+                                       exchange) over the generator families
+                                       and/or recorded traces: convergence
+                                       rounds, messages, tokens moved, and
+                                       final discrepancy per protocol, with
+                                       bit-identity checked across the
+                                       sequential/parallel/sharded executor
+                                       grid; --out writes the td-compare/v1
+                                       JSON report
   td --help | -h                       this text
 
 FILES:
@@ -113,6 +126,7 @@ EXAMPLES:
   td fuzz --budget 64 --seed 7
   td serve churn-orient --size 48 --rate 2000 --budget 256
   td trace record --shape rack-burst | td trace replay - --consumer all
+  td compare --families grid,torus,rotor --size 16 --threads 4 --shards 3
 ";
 
 /// Restore the default SIGPIPE disposition. Rust ignores SIGPIPE at
@@ -157,6 +171,7 @@ fn run(args: &[String]) -> i32 {
         Some("perf") => cmd_perf(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
+        Some("compare") => cmd_compare(&args[1..]),
         Some(other) => {
             eprintln!("td: unknown subcommand '{other}'");
             eprintln!("{USAGE}");
@@ -701,6 +716,7 @@ fn cmd_serve(args: &[String]) -> i32 {
     // shared RunFlags parser so --size/--seed/--threads/--shards keep
     // exactly the bench/churn validation semantics (exit 2 on garbage).
     let mut out_path: Option<String> = None;
+    let mut budget_req: Option<u64> = None;
     let mut rest: Vec<String> = Vec::new();
     let mut i = 1;
     while i < args.len() {
@@ -715,9 +731,11 @@ fn cmd_serve(args: &[String]) -> i32 {
                     return 2;
                 }
             },
-            "--budget" => match args.get(i + 1).and_then(|r| r.parse::<u32>().ok()) {
+            // Parsed wide (u64) so absurd requests are judged as given,
+            // not masked by a narrowing parse failure.
+            "--budget" => match args.get(i + 1).and_then(|r| r.parse::<u64>().ok()) {
                 Some(v) if v >= 1 => {
-                    cfg.budget = v;
+                    budget_req = Some(v);
                     i += 2;
                 }
                 _ => {
@@ -764,6 +782,29 @@ fn cmd_serve(args: &[String]) -> i32 {
     if let Err(e) = cfg.spec.validate() {
         eprintln!("td serve: {e}");
         return 2;
+    }
+    // Absurd --rate/--budget pairs are usage errors too: a schedule whose
+    // last tick runs past the u64 nanosecond horizon would stall on a
+    // saturated offset instead of pacing.
+    if let Some(b) = budget_req {
+        if serve::schedule_overflows(cfg.rate, b) {
+            eprintln!(
+                "td serve: --rate {} with --budget {b} overflows the tick schedule \
+                 (last emission would be past the u64 nanosecond horizon)",
+                cfg.rate
+            );
+            return 2;
+        }
+        match u32::try_from(b) {
+            Ok(v) => cfg.budget = v,
+            Err(_) => {
+                eprintln!(
+                    "td serve: --budget {b} exceeds the supported maximum {}",
+                    u32::MAX
+                );
+                return 2;
+            }
+        }
     }
     let report = match serve::serve(&cfg) {
         Ok(r) => r,
@@ -1114,6 +1155,152 @@ fn trace_convert(args: &[String]) -> i32 {
             1
         }
     }
+}
+
+fn cmd_compare(args: &[String]) -> i32 {
+    use td_bench::compare::{self, CompareConfig};
+    let mut cfg = CompareConfig::default();
+    let mut families: Vec<String> = Vec::new();
+    let mut traces: Vec<String> = Vec::new();
+    let mut out_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value = |name: &str| -> Result<String, i32> {
+            args.get(i + 1).cloned().ok_or_else(|| {
+                eprintln!("td compare: {name} needs a value");
+                2
+            })
+        };
+        match flag {
+            "--families" => match value(flag) {
+                Ok(v) => {
+                    families.extend(v.split(',').map(|s| s.trim().to_string()));
+                    i += 2;
+                }
+                Err(code) => return code,
+            },
+            "--protocols" => match value(flag) {
+                Ok(v) => {
+                    cfg.protocols = v.split(',').map(|s| s.trim().to_string()).collect();
+                    i += 2;
+                }
+                Err(code) => return code,
+            },
+            "--size" => match args.get(i + 1).and_then(|r| r.parse().ok()) {
+                Some(v) if v >= 1 => {
+                    cfg.size = Some(v);
+                    i += 2;
+                }
+                _ => {
+                    eprintln!("td compare: --size needs an integer >= 1");
+                    return 2;
+                }
+            },
+            "--seed" => match args.get(i + 1).and_then(|r| r.parse().ok()) {
+                Some(v) => {
+                    cfg.seed = v;
+                    i += 2;
+                }
+                None => {
+                    eprintln!("td compare: --seed needs an integer");
+                    return 2;
+                }
+            },
+            "--threads" => match args.get(i + 1).and_then(|r| r.parse().ok()) {
+                Some(v) if v >= 1 => {
+                    cfg.threads = v;
+                    i += 2;
+                }
+                _ => {
+                    eprintln!("td compare: --threads needs an integer >= 1");
+                    return 2;
+                }
+            },
+            "--shards" => match args.get(i + 1).and_then(|r| r.parse().ok()) {
+                Some(v) if v >= 1 => {
+                    cfg.shards = v;
+                    i += 2;
+                }
+                _ => {
+                    eprintln!("td compare: --shards needs an integer >= 1");
+                    return 2;
+                }
+            },
+            "--events" => match args.get(i + 1).and_then(|r| r.parse().ok()) {
+                Some(v) => {
+                    cfg.max_events = Some(v);
+                    i += 2;
+                }
+                None => {
+                    eprintln!("td compare: --events needs an integer");
+                    return 2;
+                }
+            },
+            "--trace" => match value(flag) {
+                Ok(v) => {
+                    traces.push(v);
+                    i += 2;
+                }
+                Err(code) => return code,
+            },
+            "--out" => match value(flag) {
+                Ok(v) => {
+                    out_path = Some(v);
+                    i += 2;
+                }
+                Err(code) => return code,
+            },
+            other => {
+                eprintln!("td compare: unknown flag '{other}'");
+                return 2;
+            }
+        }
+    }
+    let t0 = std::time::Instant::now();
+    let mut report = match compare::compare_families(&cfg, &families) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("td compare: {e}");
+            // Unknown families/protocols are usage errors; a diverging or
+            // unverifiable run is a real failure.
+            return if e.contains("unknown") { 2 } else { 1 };
+        }
+    };
+    for path in &traces {
+        let trace = match trace_load("td compare", path) {
+            Ok(t) => t,
+            Err(code) => return code,
+        };
+        let label = std::path::Path::new(path)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or(path.as_str())
+            .to_string();
+        if let Err(e) = compare::compare_trace(&mut report, &label, &trace) {
+            eprintln!("td compare: {e}");
+            return 1;
+        }
+    }
+    report.table().print();
+    for (label, why) in &report.skipped {
+        println!("\nskipped {label}: {why}");
+    }
+    println!(
+        "\n{} rows, every protocol bit-identical across {} executor points, in {:.2} s",
+        report.rows.len(),
+        report.config.grid().len(),
+        t0.elapsed().as_secs_f64()
+    );
+    if let Some(path) = out_path {
+        let json = compare::write_json(&report);
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("td compare: cannot write {path}: {e}");
+            return 1;
+        }
+        println!("{} report written to {path}", compare::SCHEMA);
+    }
+    0
 }
 
 fn read_input(path: &str) -> String {

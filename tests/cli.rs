@@ -751,3 +751,120 @@ fn degenerate_specs_exit_2_everywhere() {
         assert!(!out.stderr.is_empty(), "args {bad:?}: silent failure");
     }
 }
+
+/// `td compare` runs the balancer sweep, prints a per-protocol table plus
+/// the bit-identity summary line, and writes `td-compare/v1` JSON with one
+/// row per (instance, protocol) pair.
+#[test]
+fn compare_sweeps_protocols_and_writes_versioned_json() {
+    let out_path =
+        std::env::temp_dir().join(format!("td-compare-test-{}.json", std::process::id()));
+    let out_str = out_path.to_str().unwrap().to_string();
+    let (out, err, ok) = run_td(
+        &[
+            "compare",
+            "--families",
+            "grid,torus",
+            "--size",
+            "8",
+            "--seed",
+            "7",
+            "--threads",
+            "2",
+            "--shards",
+            "2",
+            "--out",
+            &out_str,
+        ],
+        None,
+    );
+    assert!(ok, "{err}");
+    for proto in ["token-drop", "rotor-router", "matching"] {
+        assert!(out.contains(proto), "table missing {proto}:\n{out}");
+    }
+    assert!(
+        out.contains("6 rows, every protocol bit-identical across 3 executor points"),
+        "{out}"
+    );
+    assert!(out.contains("td-compare/v1 report written"), "{out}");
+    let json = std::fs::read_to_string(&out_path).expect("report written");
+    std::fs::remove_file(&out_path).ok();
+    assert!(json.contains("\"schema\":\"td-compare/v1\""), "{json}");
+    assert!(json.contains("\"protocol\":\"matching\""), "{json}");
+    assert!(json.contains("\"fingerprint\":\""), "{json}");
+}
+
+/// Assignment-churn traces carry join/leave/cap events that do not project
+/// onto node loads; `td compare` must skip them with a reason, not fail.
+#[test]
+fn compare_skips_assignment_churn_traces_with_a_reason() {
+    let (out, err, ok) = run_td(
+        &[
+            "compare",
+            "--families",
+            "rotor",
+            "--size",
+            "8",
+            "--trace",
+            "traces/drain-wave.tdt",
+        ],
+        None,
+    );
+    assert!(ok, "{err}");
+    assert!(out.contains("skipped drain-wave"), "{out}");
+}
+
+#[test]
+fn compare_flag_errors_exit_2() {
+    for bad in [
+        vec!["compare", "--protocols", "no-such-balancer"],
+        vec!["compare", "--families", "no-such-family"],
+        vec!["compare", "--size", "0"],
+        vec!["compare", "--size"],
+        vec!["compare", "--seed", "garbage"],
+        vec!["compare", "--threads", "0"],
+        vec!["compare", "--shards", "0"],
+        vec!["compare", "--bogus"],
+        vec!["compare", "trailing-garbage"],
+    ] {
+        let out = Command::new(BIN).args(&bad).output().unwrap();
+        assert_eq!(out.status.code(), Some(2), "args {bad:?}");
+        assert!(!out.stderr.is_empty(), "args {bad:?}: silent failure");
+    }
+}
+
+/// An absurd rate/budget pair whose tick schedule cannot fit the u64
+/// nanosecond horizon is a usage error caught before the daemon starts.
+#[test]
+fn serve_rejects_overflowing_tick_schedule() {
+    let out = Command::new(BIN)
+        .args([
+            "serve",
+            "churn-orient",
+            "--rate",
+            "1",
+            "--budget",
+            "100000000000",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("overflows the tick schedule"), "{err}");
+    // Just past u32::MAX but schedule-safe at a fast rate: rejected for the
+    // budget cap instead, again before any work happens.
+    let out = Command::new(BIN)
+        .args([
+            "serve",
+            "churn-orient",
+            "--rate",
+            "1000000",
+            "--budget",
+            "4294967296",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("exceeds the supported maximum"), "{err}");
+}

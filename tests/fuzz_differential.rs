@@ -18,7 +18,7 @@
 //! line. The corpus is split across one test per pipeline kind so a
 //! divergence names its family group in the test name too.
 
-use td_bench::fuzz::{check, corpus, repro_line};
+use td_bench::fuzz::{check, check_balance, corpus, repro_line};
 use td_bench::spec::{FamilyKind, WorkloadSpec, FAMILIES};
 
 /// Total corpus size.
@@ -111,6 +111,31 @@ fn assignment_specs_have_zero_divergence() {
 fn churn_specs_have_zero_divergence() {
     let n = run_kinds(&[FamilyKind::OrientChurn, FamilyKind::AssignChurn]);
     assert!(n >= 40, "only {n} churn specs");
+}
+
+/// The competing-balancer differential on a pinned sub-corpus: every
+/// registered protocol (token dropping, rotor-router, matching exchange)
+/// on each spec's projected node-load workload, bit-identical across the
+/// sequential / parallel / sharded executor grid, accepted by its own
+/// verifier, and invariant under metamorphic relabeling. The stride keeps
+/// the sample deterministic while still cycling through every family.
+#[test]
+fn balance_protocols_have_zero_divergence() {
+    let specs: Vec<WorkloadSpec> = full_corpus().into_iter().step_by(7).collect();
+    assert!(specs.len() >= 25, "only {} balance specs", specs.len());
+    let mut failures = Vec::new();
+    for spec in &specs {
+        if let Err(e) = check_balance(spec) {
+            failures.push(format!("  {}   # {e}", repro_line(spec)));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} of {} balance specs diverged; repro lines:\n{}",
+        failures.len(),
+        specs.len(),
+        failures.join("\n")
+    );
 }
 
 /// The checked-in regression corpus: specs that once exercised tricky

@@ -16,7 +16,9 @@
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
+use td_bench::compare::compare_families;
 use td_bench::scenario::{registry, Scenario, ScenarioKind};
+use td_bench::CompareConfig;
 use td_local::Simulator;
 
 /// Fixed golden sizes: small enough to run in milliseconds, large enough
@@ -111,6 +113,58 @@ fn every_scenario_report_matches_its_golden_snapshot() {
          UPDATE_GOLDEN=1 cargo test --test golden_reports",
         failures.len(),
         failures.join("\n")
+    );
+}
+
+/// The `td compare` balancer sweep over two small families, pinned at a
+/// fixed size and seed. Drift in convergence rounds, message counts, token
+/// moves, final discrepancy, or load fingerprints of *any* registered
+/// protocol fails with a line diff; bless intentional protocol changes
+/// with `UPDATE_GOLDEN=1 cargo test --test golden_reports`.
+fn compare_golden(threads: usize, shards: usize) -> String {
+    let cfg = CompareConfig {
+        size: Some(8),
+        seed: GOLDEN_SEED,
+        threads,
+        shards,
+        ..CompareConfig::default()
+    };
+    compare_families(&cfg, &["rotor".to_string(), "torus".to_string()])
+        .expect("compare runs clean at golden size")
+        .golden()
+}
+
+#[test]
+fn compare_report_matches_its_golden_snapshot() {
+    let update = std::env::var_os("UPDATE_GOLDEN").is_some();
+    let dir = golden_dir();
+    let path = dir.join("compare-rotor-torus.golden");
+    let actual = compare_golden(2, 2);
+    if update {
+        std::fs::create_dir_all(&dir).expect("create tests/golden");
+        std::fs::write(&path, &actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|_| {
+        panic!("no golden at {path:?} — run UPDATE_GOLDEN=1 cargo test --test golden_reports")
+    });
+    assert!(
+        expected == actual,
+        "compare report drifted from {path:?} (-expected +actual):\n{}\n\
+         If the change is intentional, bless it with \
+         UPDATE_GOLDEN=1 cargo test --test golden_reports",
+        render_diff(&expected, &actual)
+    );
+}
+
+/// The compare snapshot is a pure function of (instance, seed): rerunning
+/// the sweep on a different thread × shard grid must golden-match exactly.
+#[test]
+fn compare_golden_is_executor_independent() {
+    assert_eq!(
+        compare_golden(2, 2),
+        compare_golden(4, 3),
+        "compare sweep drifts across executor grids"
     );
 }
 
