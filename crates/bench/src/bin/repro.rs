@@ -1286,5 +1286,5 @@ fn e18() {
     println!(" ~n per round and the speedup grows with n — >2x at 131k nodes, well past");
     println!(" the 20% target. the rotor is the documented control: ~50% of its nodes");
     println!(" stay active to the end, so scheduling alone roughly breaks even there.");
-    println!(" full counters land in BENCH_6.json via `td perf`.)");
+    println!(" full counters land in BENCH_10.json via `td perf`.)");
 }

@@ -117,6 +117,24 @@ pub struct CompareRow {
     pub run: BalanceRun,
 }
 
+impl CompareRow {
+    /// The cache-stable canonical serialization of this row: its
+    /// protocol-prefixed deterministic outcomes as flat integer metrics
+    /// (bit-identical across the executor grid by construction, so no
+    /// grid point appears in the name). What the experiment cache stores.
+    pub fn canonical_metrics(&self) -> Vec<(String, u64)> {
+        let p = self.protocol;
+        vec![
+            (format!("{p}/rounds"), self.run.rounds),
+            (format!("{p}/messages"), self.run.messages),
+            (format!("{p}/moves"), self.run.moves),
+            (format!("{p}/discrepancy"), self.run.discrepancy as u64),
+            (format!("{p}/max_gap"), self.run.max_gap as u64),
+            (format!("{p}/fingerprint"), self.run.fingerprint),
+        ]
+    }
+}
+
 /// The full result of a comparison sweep.
 #[derive(Clone, Debug)]
 pub struct CompareReport {
@@ -341,9 +359,28 @@ pub fn write_json(r: &CompareReport) -> String {
     let mut s = String::new();
     s.push_str(&format!("{{\n\"schema\":\"{SCHEMA}\",\n"));
     s.push_str(&format!(
-        "\"seed\":{},\"threads\":{},\"shards\":{},\n\"rows\":[\n",
+        "\"seed\":{},\"threads\":{},\"shards\":{},",
         r.config.seed, r.config.threads, r.config.shards
     ));
+    // Schema-additive header fields: the resolved executor grid, the size
+    // override, and the event cap — everything a cache needs to key a
+    // report faithfully.
+    let execs: Vec<String> = r
+        .config
+        .grid()
+        .iter()
+        .map(|p| format!("\"{}x{}\"", p.threads, p.shards))
+        .collect();
+    s.push_str(&format!("\"executors\":[{}],", execs.join(",")));
+    match r.config.size {
+        Some(size) => s.push_str(&format!("\"size\":{size},")),
+        None => s.push_str("\"size\":null,"),
+    }
+    match r.config.max_events {
+        Some(cap) => s.push_str(&format!("\"max_events\":{cap},\n")),
+        None => s.push_str("\"max_events\":null,\n"),
+    }
+    s.push_str("\"rows\":[\n");
     for (i, row) in r.rows.iter().enumerate() {
         s.push_str(&format!(
             "{{\"instance\":\"{}\",\"protocol\":\"{}\",\"nodes\":{},\"edges\":{},\
@@ -437,6 +474,51 @@ mod tests {
         let fams = vec!["churn-orient".to_string()];
         let report = compare_families(&cfg, &fams).unwrap();
         assert!(report.rows.iter().all(|r| r.events > 0));
+    }
+
+    #[test]
+    fn json_report_round_trips_with_header_fields() {
+        // The header now records the resolved executor grid, size
+        // override, and event cap (schema-additive); pin by parsing the
+        // document back with the in-tree JSON reader.
+        let cfg = CompareConfig {
+            max_events: Some(6),
+            ..tiny_cfg()
+        };
+        let report = compare_families(&cfg, &["grid".to_string()]).unwrap();
+        let doc = write_json(&report);
+        let parsed = crate::json::parse(&doc).unwrap();
+        assert_eq!(parsed.get("schema").and_then(|v| v.as_str()), Some(SCHEMA));
+        assert_eq!(parsed.get("size").and_then(|v| v.as_u64()), Some(12));
+        assert_eq!(parsed.get("max_events").and_then(|v| v.as_u64()), Some(6));
+        let execs: Vec<&str> = parsed
+            .get("executors")
+            .and_then(|e| e.as_arr())
+            .expect("executors array")
+            .iter()
+            .filter_map(|e| e.as_str())
+            .collect();
+        assert_eq!(execs, vec!["1x1", "2x1", "2x2"]);
+        let rows = parsed.get("rows").and_then(|v| v.as_arr()).unwrap();
+        assert_eq!(rows.len(), report.rows.len());
+        for (j, row) in rows.iter().zip(&report.rows) {
+            assert_eq!(
+                j.get("protocol").and_then(|v| v.as_str()),
+                Some(row.protocol)
+            );
+            assert_eq!(
+                j.get("rounds").and_then(|v| v.as_u64()),
+                Some(row.run.rounds)
+            );
+            assert_eq!(
+                j.get("messages").and_then(|v| v.as_u64()),
+                Some(row.run.messages)
+            );
+        }
+        // And the canonical metrics agree with the serialized row.
+        let m = report.rows[0].canonical_metrics();
+        let key = format!("{}/rounds", report.rows[0].protocol);
+        assert!(m.contains(&(key, report.rows[0].run.rounds)));
     }
 
     #[test]

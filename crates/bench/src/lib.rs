@@ -14,8 +14,11 @@ use td_graph::CsrGraph;
 
 pub mod churn;
 pub mod compare;
+pub mod exp;
 pub mod fuzz;
+pub mod json;
 pub mod perf;
+pub mod plot;
 pub mod scenario;
 pub mod serve;
 pub mod spec;
@@ -23,6 +26,7 @@ pub mod trace;
 
 pub use churn::{ChurnReport, ChurnScenario};
 pub use compare::{CompareConfig, CompareReport, CompareRow};
+pub use exp::{ExpConfig, ExperimentDef, Manifest};
 pub use perf::{PerfPoint, PerfReport, SweepConfig};
 pub use scenario::{Scenario, ScenarioKind, ScenarioReport};
 pub use serve::{ServeConfig, ServeReport};

@@ -22,8 +22,8 @@
 //!   active-fraction trajectory experiment E18 fits).
 //!
 //! [`write_json`] serializes the sweep as a versioned (`td-perf/v1`)
-//! report — the `td perf` subcommand writes it to `BENCH_6.json` so future
-//! PRs can append comparable trajectory points; every run also
+//! report — the `td perf` subcommand writes it to `BENCH_10.json` so
+//! future PRs can append comparable trajectory points; every run also
 //! cross-checks rounds and messages across executors (a perf run that
 //! diverges is a bug, not a data point).
 //!
@@ -139,6 +139,35 @@ pub struct PerfPoint {
 }
 
 impl PerfPoint {
+    /// The cache-stable canonical serialization of this point: the
+    /// deterministic work counters as flat `<executor>/<name>` integer
+    /// metrics, excluding wall-clock (nondeterministic) and the stamp
+    /// scans (an allocator detail, not a cost claim). What the experiment
+    /// cache stores and keys render output off.
+    pub fn canonical_metrics(&self) -> Vec<(String, u64)> {
+        let e = &self.executor;
+        let mut m = vec![
+            (format!("{e}/rounds"), self.rounds),
+            (format!("{e}/messages"), self.messages),
+        ];
+        match self.node_steps {
+            Some(steps) => m.push((format!("{e}/node_steps"), steps)),
+            None => {
+                let c = &self.counters;
+                m.push((format!("{e}/node_rounds"), c.node_rounds));
+                m.push((format!("{e}/halted_scans"), c.halted_scans));
+                m.push((format!("{e}/sparse_skips"), c.sparse_skips));
+                m.push((format!("{e}/local_messages"), c.local_messages));
+                m.push((format!("{e}/boundary_messages"), c.boundary_messages));
+            }
+        }
+        if let Some(sh) = &self.sharding {
+            m.push((format!("{e}/cut_edges"), sh.cut_edges as u64));
+            m.push((format!("{e}/shard_rounds_skipped"), sh.shard_rounds_skipped));
+        }
+        m
+    }
+
     /// Active fraction: node steps actually executed over the dense
     /// `nodes × rounds` grid a non-sparse executor would scan.
     pub fn active_fraction(&self) -> f64 {
@@ -160,6 +189,8 @@ pub struct PerfReport {
     pub shards: usize,
     /// Base seed.
     pub seed: u64,
+    /// Timing repetitions each point ran (min-of-N wall clock).
+    pub repeat: usize,
     /// All measured points, in sweep order.
     pub points: Vec<PerfPoint>,
 }
@@ -393,8 +424,26 @@ pub fn run_sweep(cfg: &SweepConfig) -> Result<PerfReport, String> {
         threads: cfg.threads,
         shards: cfg.shards,
         seed: cfg.seed,
+        repeat: cfg.repeat.max(1),
         points,
     })
+}
+
+/// The executor labels a sweep of `scenario` under `cfg` produces, in
+/// sweep order — the resolved grid the report header now records, and the
+/// experiment cache keys off.
+pub fn grid_labels(cfg: &SweepConfig, scenario: &str) -> Vec<String> {
+    if matches!(scenario, "churn-orient" | "churn-assign") {
+        let mut grid: Vec<(String, ())> = vec![
+            ("churn(1,1)".into(), ()),
+            (format!("churn({},1)", cfg.threads), ()),
+            (format!("churn({},{})", cfg.threads, cfg.shards), ()),
+        ];
+        dedup_by_label(&mut grid);
+        grid.into_iter().map(|(l, ())| l).collect()
+    } else {
+        executor_grid(cfg).into_iter().map(|(l, _)| l).collect()
+    }
 }
 
 /// The executor grid every one-shot scenario is swept over: the dense
@@ -896,80 +945,113 @@ fn json_array_u64<I: IntoIterator<Item = u64>>(vals: I) -> String {
     format!("[{}]", items.join(","))
 }
 
+/// The report header shared by `td perf` output and the experiment
+/// cache's benchmark regeneration: schema tag, trajectory point, the
+/// sweep knobs, the timing repeat count, and the resolved executor grid
+/// (schema-additive over earlier `td-perf/v1` documents). Ends mid-object,
+/// ready for `"points"`.
+pub fn header_json(
+    threads: usize,
+    shards: usize,
+    seed: u64,
+    repeat: usize,
+    executors: &[String],
+) -> String {
+    let execs: Vec<String> = executors.iter().map(|e| format!("\"{e}\"")).collect();
+    format!(
+        "{{\n\"schema\":\"{SCHEMA}\",\n\"bench\":10,\n\"threads\":{threads},\n\"shards\":{shards},\n\
+         \"seed\":{seed},\n\"repeat\":{repeat},\n\"executors\":[{}],\n",
+        execs.join(",")
+    )
+}
+
+/// Serializes one measured point as a single-line JSON object — the exact
+/// fragment [`write_json`] emits, exposed so the experiment cache can
+/// store points verbatim and splice them back byte-identically.
+pub fn point_json(p: &PerfPoint) -> String {
+    let mut s = String::new();
+    s.push('{');
+    s.push_str(&format!(
+        "\"scenario\":\"{}\",\"spec\":\"{}\",\"kind\":\"{}\",\"executor\":\"{}\",",
+        p.scenario, p.spec, p.kind, p.executor
+    ));
+    s.push_str(&format!("\"size\":{},\"seed\":{},", p.size, p.seed));
+    push_kv_u64(&mut s, "nodes", p.nodes as u64, true);
+    push_kv_u64(&mut s, "edges", p.edges as u64, true);
+    push_kv_u64(&mut s, "rounds", p.rounds, true);
+    push_kv_u64(&mut s, "messages", p.messages, true);
+    push_kv_u64(&mut s, "wall_ns", p.wall_ns as u64, true);
+    let per_round = (p.wall_ns as u64).checked_div(p.rounds).unwrap_or(0);
+    push_kv_u64(&mut s, "wall_ns_per_round", per_round, true);
+    match p.node_steps {
+        Some(steps) => {
+            push_kv_u64(&mut s, "node_steps", steps, true);
+        }
+        None => {
+            let c = &p.counters;
+            push_kv_u64(&mut s, "node_rounds", c.node_rounds, true);
+            push_kv_u64(&mut s, "halted_scans", c.halted_scans, true);
+            push_kv_u64(&mut s, "sparse_skips", c.sparse_skips, true);
+            push_kv_u64(&mut s, "local_messages", c.local_messages, true);
+            push_kv_u64(&mut s, "boundary_messages", c.boundary_messages, true);
+            push_kv_u64(&mut s, "stamp_scans", c.stamp_scans, true);
+        }
+    }
+    if let Some(sh) = &p.sharding {
+        push_kv_u64(&mut s, "exec_shards", sh.shards as u64, true);
+        push_kv_u64(&mut s, "cut_edges", sh.cut_edges as u64, true);
+        push_kv_u64(
+            &mut s,
+            "shard_rounds_stepped",
+            sh.shard_rounds_stepped,
+            true,
+        );
+        push_kv_u64(
+            &mut s,
+            "shard_rounds_skipped",
+            sh.shard_rounds_skipped,
+            true,
+        );
+    }
+    s.push_str(&format!("\"active_fraction\":{:.6},", p.active_fraction()));
+    if p.curve.rounds.is_empty() {
+        s.push_str("\"curve\":null");
+    } else {
+        s.push_str(&format!(
+            "\"curve\":{{\"stride\":{},\"rounds\":{},\"active\":{},\"messages\":{}}}",
+            p.curve.stride,
+            json_array_u64(p.curve.rounds.iter().map(|&r| r as u64)),
+            json_array_u64(p.curve.active.iter().map(|&a| a as u64)),
+            json_array_u64(p.curve.messages.iter().copied()),
+        ));
+    }
+    s.push('}');
+    s
+}
+
 /// Serializes a report as the versioned `td-perf/v1` JSON document. The
 /// writer is hand-rolled (the workspace is hermetic: no serde), emits only
 /// integers, strings of known-safe characters, and fixed-precision
-/// fractions, and is covered by a shape test.
+/// fractions, and is covered by a shape test plus a round-trip test
+/// through the in-tree [`crate::json`] parser.
 pub fn write_json(report: &PerfReport) -> String {
-    let mut s = String::new();
-    s.push_str(&format!(
-        "{{\n\"schema\":\"{SCHEMA}\",\n\"bench\":6,\n\"threads\":{},\n\"shards\":{},\n\"seed\":{},\n\"points\":[\n",
-        report.threads, report.shards, report.seed
-    ));
-    for (i, p) in report.points.iter().enumerate() {
-        s.push('{');
-        s.push_str(&format!(
-            "\"scenario\":\"{}\",\"spec\":\"{}\",\"kind\":\"{}\",\"executor\":\"{}\",",
-            p.scenario, p.spec, p.kind, p.executor
-        ));
-        s.push_str(&format!("\"size\":{},\"seed\":{},", p.size, p.seed));
-        push_kv_u64(&mut s, "nodes", p.nodes as u64, true);
-        push_kv_u64(&mut s, "edges", p.edges as u64, true);
-        push_kv_u64(&mut s, "rounds", p.rounds, true);
-        push_kv_u64(&mut s, "messages", p.messages, true);
-        push_kv_u64(&mut s, "wall_ns", p.wall_ns as u64, true);
-        let per_round = (p.wall_ns as u64).checked_div(p.rounds).unwrap_or(0);
-        push_kv_u64(&mut s, "wall_ns_per_round", per_round, true);
-        match p.node_steps {
-            Some(steps) => {
-                push_kv_u64(&mut s, "node_steps", steps, true);
-            }
-            None => {
-                let c = &p.counters;
-                push_kv_u64(&mut s, "node_rounds", c.node_rounds, true);
-                push_kv_u64(&mut s, "halted_scans", c.halted_scans, true);
-                push_kv_u64(&mut s, "sparse_skips", c.sparse_skips, true);
-                push_kv_u64(&mut s, "local_messages", c.local_messages, true);
-                push_kv_u64(&mut s, "boundary_messages", c.boundary_messages, true);
-                push_kv_u64(&mut s, "stamp_scans", c.stamp_scans, true);
-            }
+    let mut executors: Vec<String> = Vec::new();
+    for p in &report.points {
+        if !executors.contains(&p.executor) {
+            executors.push(p.executor.clone());
         }
-        if let Some(sh) = &p.sharding {
-            push_kv_u64(&mut s, "exec_shards", sh.shards as u64, true);
-            push_kv_u64(&mut s, "cut_edges", sh.cut_edges as u64, true);
-            push_kv_u64(
-                &mut s,
-                "shard_rounds_stepped",
-                sh.shard_rounds_stepped,
-                true,
-            );
-            push_kv_u64(
-                &mut s,
-                "shard_rounds_skipped",
-                sh.shard_rounds_skipped,
-                true,
-            );
-        }
-        s.push_str(&format!("\"active_fraction\":{:.6},", p.active_fraction()));
-        if p.curve.rounds.is_empty() {
-            s.push_str("\"curve\":null");
-        } else {
-            s.push_str(&format!(
-                "\"curve\":{{\"stride\":{},\"rounds\":{},\"active\":{},\"messages\":{}}}",
-                p.curve.stride,
-                json_array_u64(p.curve.rounds.iter().map(|&r| r as u64)),
-                json_array_u64(p.curve.active.iter().map(|&a| a as u64)),
-                json_array_u64(p.curve.messages.iter().copied()),
-            ));
-        }
-        s.push('}');
-        s.push_str(if i + 1 < report.points.len() {
-            ",\n"
-        } else {
-            "\n"
-        });
     }
-    s.push_str("],\n\"derived\":{");
+    let mut s = header_json(
+        report.threads,
+        report.shards,
+        report.seed,
+        report.repeat,
+        &executors,
+    );
+    s.push_str("\"points\":[\n");
+    let fragments: Vec<String> = report.points.iter().map(point_json).collect();
+    s.push_str(&fragments.join(",\n"));
+    s.push_str("\n],\n\"derived\":{");
     let mut speedups: Vec<String> = Vec::new();
     for sc in REGISTRY {
         if let Some(x) = report.sparse_speedup(sc.name) {
@@ -1158,6 +1240,94 @@ mod tests {
             }
         }
         depth == 0 && !in_str
+    }
+
+    #[test]
+    fn json_report_round_trips_with_header_fields() {
+        // The header now records the repeat count and the resolved
+        // executor grid (schema-additive); pin the whole document by
+        // parsing it back with the in-tree JSON reader.
+        let rep = quick_one("rotor");
+        let doc = write_json(&rep);
+        let parsed = crate::json::parse(&doc).unwrap();
+        assert_eq!(parsed.get("schema").and_then(|v| v.as_str()), Some(SCHEMA));
+        assert_eq!(parsed.get("bench").and_then(|v| v.as_u64()), Some(10));
+        assert_eq!(
+            parsed.get("repeat").and_then(|v| v.as_u64()),
+            Some(rep.repeat as u64)
+        );
+        let execs: Vec<&str> = parsed
+            .get("executors")
+            .and_then(|e| e.as_arr())
+            .expect("executors array")
+            .iter()
+            .filter_map(|e| e.as_str())
+            .collect();
+        let points = parsed.get("points").and_then(|p| p.as_arr()).unwrap();
+        assert_eq!(points.len(), rep.points.len());
+        for (j, p) in points.iter().zip(&rep.points) {
+            assert_eq!(
+                j.get("executor").and_then(|v| v.as_str()),
+                Some(p.executor.as_str())
+            );
+            assert_eq!(j.get("rounds").and_then(|v| v.as_u64()), Some(p.rounds));
+            assert_eq!(j.get("messages").and_then(|v| v.as_u64()), Some(p.messages));
+            assert_eq!(
+                j.get("wall_ns").and_then(|v| v.as_u64()),
+                Some(p.wall_ns as u64)
+            );
+        }
+        // The recorded grid is exactly what grid_labels resolves for the
+        // same configuration — cache keys and report headers agree.
+        let mut cfg = SweepConfig::quick();
+        cfg.scenario = Some("rotor".into());
+        assert_eq!(grid_labels(&cfg, "rotor"), execs);
+    }
+
+    #[test]
+    fn grid_labels_cover_churn_and_oneshot_shapes() {
+        let cfg = SweepConfig::default();
+        assert_eq!(
+            grid_labels(&cfg, "churn-orient"),
+            vec!["churn(1,1)", "churn(4,1)", "churn(4,4)"]
+        );
+        assert_eq!(
+            grid_labels(&cfg, "drain-wave"),
+            vec!["sequential", "parallel(4)", "sharded(4,4)", "sharded(1,1)"]
+        );
+        // Colliding labels dedup, same as the executors actually run.
+        let one = SweepConfig {
+            threads: 1,
+            shards: 1,
+            ..SweepConfig::default()
+        };
+        assert_eq!(grid_labels(&one, "churn-assign"), vec!["churn(1,1)"]);
+        assert_eq!(
+            grid_labels(&one, "rotor"),
+            vec!["sequential", "parallel(1)", "sharded(1,1)"]
+        );
+    }
+
+    #[test]
+    fn canonical_metrics_are_executor_prefixed_and_deterministic() {
+        let rep = quick_one("rotor");
+        let seq = rep
+            .points
+            .iter()
+            .find(|p| p.executor == "sequential")
+            .unwrap();
+        let m = seq.canonical_metrics();
+        assert!(m
+            .iter()
+            .any(|(k, v)| k == "sequential/rounds" && *v == seq.rounds));
+        assert!(m.iter().all(|(k, _)| k.starts_with("sequential/")));
+        assert!(!m.iter().any(|(k, _)| k.ends_with("/wall_ns")));
+        let churn = quick_one("churn-assign");
+        let c = &churn.points[0];
+        assert!(c
+            .canonical_metrics()
+            .iter()
+            .any(|(k, _)| k.ends_with("/node_steps")));
     }
 
     #[test]

@@ -426,6 +426,24 @@ pub struct ServeReport {
 }
 
 impl ServeReport {
+    /// The cache-stable canonical serialization of this report: the
+    /// deterministic subset as flat integer metrics — instance shape,
+    /// event totals, repair work, and the final-solution witness.
+    /// Wall-clock, latency, and backpressure are load-dependent and
+    /// deliberately excluded.
+    pub fn canonical_metrics(&self) -> Vec<(String, u64)> {
+        vec![
+            ("nodes".into(), self.nodes as u64),
+            ("events".into(), self.events as u64),
+            ("queries".into(), self.queries),
+            ("repair_rounds".into(), self.repair.rounds as u64),
+            ("repair_messages".into(), self.repair.messages),
+            ("repair_node_steps".into(), self.repair.node_steps),
+            ("max_load".into(), self.max_load as u64),
+            ("fingerprint".into(), self.fingerprint),
+        ]
+    }
+
     /// Throughput actually sustained over the wall clock, events/sec.
     pub fn sustained_eps(&self) -> f64 {
         if self.wall_ns == 0 {

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Full artifact refresh (reference machine): run every registered
+# experiment at full size into the results/ cache (warm results are
+# reused — pass --force to re-execute), then regenerate the committed
+# artifacts: BENCH_10.json, plots/, and the generated tables inside
+# EXPERIMENTS.md. Extra arguments are forwarded to `td exp run`
+# (e.g. `scripts/full.sh --force` or `scripts/full.sh e17 e21`).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --bin td
+TD=target/release/td
+
+"$TD" exp run --results results "$@"
+"$TD" exp render --results results \
+  --plots plots --bench BENCH_10.json --experiments-md EXPERIMENTS.md
+
+echo "full: OK — BENCH_10.json, plots/, EXPERIMENTS.md refreshed"

@@ -17,7 +17,7 @@ use token_dropping::orient::protocol::run_distributed;
 use token_dropping::prelude::*;
 
 const USAGE: &str =
-    "usage: td <gen|info|orient|game|assign|bench|churn|fuzz|perf|serve|trace|compare> ... \
+    "usage: td <gen|info|orient|game|assign|bench|churn|fuzz|perf|serve|trace|compare|exp> ... \
      (td --help for details)";
 
 const HELP: &str = "\
@@ -58,7 +58,7 @@ USAGE:
                                        'small-world:size=32:seed=7'
   td perf                              run the perf telemetry sweep
                                        (scenario x executor x size) and
-                                       write the versioned BENCH_6.json
+                                       write the versioned BENCH_10.json
   td perf --list                       list the perf scenarios
   td perf [--scenario <name> [--sizes N,N,..]] [--seed S] [--threads T]
           [--shards K] [--out FILE] [--quick] [--repeat N]
@@ -112,6 +112,32 @@ USAGE:
                                        sequential/parallel/sharded executor
                                        grid; --out writes the td-compare/v1
                                        JSON report
+  td exp                               list the registered experiments
+                                       (same as td exp --list)
+  td exp run [id..] [--quick] [--force] [--results DIR] [--seed S]
+             [--threads T] [--shards K] [--repeat N]
+                                       run experiments through the results
+                                       cache: configurations whose
+                                       results/<exp>/<key>.json already
+                                       exists are skipped untouched,
+                                       --force re-executes, and
+                                       results/manifest.json records the
+                                       hit/miss split; no ids = all,
+                                       --quick is the kick-tires tier
+                                       (small sizes, 2x2 grid, repeat 1)
+  td exp render [id..] [--quick] [--results DIR] [--plots DIR]
+                [--bench FILE] [--experiments-md FILE] [--seed S]
+                [--threads T] [--shards K] [--repeat N]
+                                       regenerate the derived artifacts
+                                       from a warm cache: deterministic
+                                       SVG plots under --plots (default
+                                       plots/), generated markdown tables
+                                       spliced between the
+                                       <!-- exp:<id>:begin/end --> markers
+                                       of --experiments-md, and (with the
+                                       perf experiment) the td-perf/v1
+                                       benchmark file at --bench; pass the
+                                       exact flags the cache was run with
   td --help | -h                       this text
 
 FILES:
@@ -127,6 +153,7 @@ EXAMPLES:
   td serve churn-orient --size 48 --rate 2000 --budget 256
   td trace record --shape rack-burst | td trace replay - --consumer all
   td compare --families grid,torus,rotor --size 16 --threads 4 --shards 3
+  td exp run e17 e21 --quick && td exp render e17 e21 --quick
 ";
 
 /// Restore the default SIGPIPE disposition. Rust ignores SIGPIPE at
@@ -172,6 +199,7 @@ fn run(args: &[String]) -> i32 {
         Some("serve") => cmd_serve(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
         Some("compare") => cmd_compare(&args[1..]),
+        Some("exp") => cmd_exp(&args[1..]),
         Some(other) => {
             eprintln!("td: unknown subcommand '{other}'");
             eprintln!("{USAGE}");
@@ -535,7 +563,7 @@ fn cmd_fuzz(args: &[String]) -> i32 {
 fn cmd_perf(args: &[String]) -> i32 {
     use td_bench::perf::{self, SweepConfig};
     let mut cfg = SweepConfig::default();
-    let mut out_path = String::from("BENCH_6.json");
+    let mut out_path = String::from("BENCH_10.json");
     // Pre-scan the perf-specific flags; everything else goes through the
     // shared RunFlags parser so --seed/--threads/--shards keep exactly the
     // bench/churn validation semantics (exit 2 on 0/garbage).
@@ -1299,6 +1327,278 @@ fn cmd_compare(args: &[String]) -> i32 {
             return 1;
         }
         println!("{} report written to {path}", compare::SCHEMA);
+    }
+    0
+}
+
+/// Everything `td exp run`/`td exp render` share: the experiment ids, the
+/// resolved [`td_bench::ExpConfig`], and the results directory.
+struct ExpInvocation {
+    ids: Vec<String>,
+    cfg: td_bench::ExpConfig,
+    results: String,
+}
+
+/// Parses the flags common to both `td exp` actions out of `args`, leaving
+/// the action-specific flags for `handle` to claim (return `true` if it
+/// consumed the flag at the given index; it may look at the value slot).
+/// Positional (non-flag) arguments are experiment ids. `Err(2)` on any
+/// malformed or unknown flag, exactly like the other subcommands.
+fn exp_parse(
+    cmd: &str,
+    args: &[String],
+    mut handle: impl FnMut(&[String], usize) -> Result<Option<usize>, i32>,
+) -> Result<ExpInvocation, i32> {
+    use td_bench::ExpConfig;
+    let mut ids: Vec<String> = Vec::new();
+    let mut results = String::from("results");
+    let mut quick = false;
+    let mut repeat_flag: Option<usize> = None;
+    let mut rest: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        if let Some(consumed) = handle(args, i)? {
+            i += consumed;
+            continue;
+        }
+        match flag {
+            "--quick" => {
+                quick = true;
+                i += 1;
+            }
+            "--results" => match args.get(i + 1) {
+                Some(p) => {
+                    results = p.clone();
+                    i += 2;
+                }
+                None => {
+                    eprintln!("{cmd}: --results needs a directory path");
+                    return Err(2);
+                }
+            },
+            "--repeat" => match args.get(i + 1).and_then(|raw| raw.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => {
+                    repeat_flag = Some(n);
+                    i += 2;
+                }
+                _ => {
+                    eprintln!("{cmd}: --repeat needs an integer >= 1");
+                    return Err(2);
+                }
+            },
+            // RunFlags owns --seed/--threads/--shards; forward the flag
+            // AND its value slot so a trailing id is never mistaken for
+            // one.
+            "--seed" | "--threads" | "--shards" => {
+                rest.push(args[i].clone());
+                if let Some(v) = args.get(i + 1) {
+                    rest.push(v.clone());
+                }
+                i += 2;
+            }
+            other if other.starts_with('-') => {
+                // Unknown flags fall through to RunFlags for the uniform
+                // "unknown flag" diagnostic and exit code.
+                rest.push(args[i].clone());
+                i += 1;
+            }
+            id => {
+                ids.push(id.to_string());
+                i += 1;
+            }
+        }
+    }
+    // --quick rebases every default (2x2 grid, repeat 1) before explicit
+    // flags override, so the two compose in either order.
+    let mut cfg = if quick {
+        ExpConfig::quick()
+    } else {
+        ExpConfig::default()
+    };
+    let mut flags = RunFlags::new(0, 0);
+    flags.seed = cfg.seed;
+    flags.threads = cfg.threads;
+    flags.shards = cfg.shards;
+    flags.parse(cmd, &rest, &["--shards"])?;
+    cfg.seed = flags.seed;
+    cfg.threads = flags.threads;
+    cfg.shards = flags.shards;
+    if let Some(n) = repeat_flag {
+        cfg.repeat = n;
+    }
+    Ok(ExpInvocation { ids, cfg, results })
+}
+
+fn cmd_exp(args: &[String]) -> i32 {
+    use td_bench::exp;
+    match args.first().map(String::as_str) {
+        None | Some("--list") => {
+            if args.len() > 1 {
+                eprintln!("td exp: unexpected trailing argument '{}'", args[1]);
+                return 2;
+            }
+            println!("registered experiments:\n");
+            print!("{}", exp::listing());
+            println!(
+                "\nrun them with:    td exp run [id..] [--quick] [--force]\n\
+                 render them with: td exp render [id..] [--quick] [--plots DIR] [--bench FILE]"
+            );
+            0
+        }
+        Some("run") => exp_run(&args[1..]),
+        Some("render") => exp_render(&args[1..]),
+        Some(other) => {
+            eprintln!("td exp: unknown action '{other}' (run|render|--list)");
+            2
+        }
+    }
+}
+
+fn exp_run(args: &[String]) -> i32 {
+    use td_bench::exp;
+    let mut force = false;
+    let inv = match exp_parse("td exp run", args, |args, i| {
+        if args[i] == "--force" {
+            force = true;
+            Ok(Some(1))
+        } else {
+            Ok(None)
+        }
+    }) {
+        Ok(inv) => inv,
+        Err(code) => return code,
+    };
+    // Unknown ids are usage errors; resolve before touching the cache.
+    if let Err(e) = exp::resolve_ids(&inv.ids) {
+        eprintln!("td exp run: {e}");
+        return 2;
+    }
+    let t0 = std::time::Instant::now();
+    let manifest = match exp::run(
+        &inv.cfg,
+        &inv.ids,
+        std::path::Path::new(&inv.results),
+        force,
+    ) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("td exp run: {e}");
+            return 1;
+        }
+    };
+    for u in &manifest.units {
+        println!("{:6} {}/{}", u.status.label(), u.exp, u.unit);
+    }
+    println!(
+        "\nunits: {}, hits: {}, misses: {} ({} schema, manifest in {}/manifest.json, {:.2} s)",
+        manifest.units.len(),
+        manifest.hits(),
+        manifest.misses(),
+        exp::SCHEMA,
+        inv.results,
+        t0.elapsed().as_secs_f64()
+    );
+    0
+}
+
+fn exp_render(args: &[String]) -> i32 {
+    use td_bench::exp;
+    let mut plots_dir = String::from("plots");
+    let mut bench_path: Option<String> = None;
+    let mut md_path: Option<String> = None;
+    let inv = match exp_parse("td exp render", args, |args, i| {
+        let take_value = |name: &str| -> Result<String, i32> {
+            args.get(i + 1).cloned().ok_or_else(|| {
+                eprintln!("td exp render: {name} needs a path");
+                2
+            })
+        };
+        match args[i].as_str() {
+            "--plots" => {
+                plots_dir = take_value("--plots")?;
+                Ok(Some(2))
+            }
+            "--bench" => {
+                bench_path = Some(take_value("--bench")?);
+                Ok(Some(2))
+            }
+            "--experiments-md" => {
+                md_path = Some(take_value("--experiments-md")?);
+                Ok(Some(2))
+            }
+            _ => Ok(None),
+        }
+    }) {
+        Ok(inv) => inv,
+        Err(code) => return code,
+    };
+    if let Err(e) = exp::resolve_ids(&inv.ids) {
+        eprintln!("td exp render: {e}");
+        return 2;
+    }
+    let rendered = match exp::render(&inv.cfg, &inv.ids, std::path::Path::new(&inv.results)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("td exp render: {e}");
+            return 1;
+        }
+    };
+    if bench_path.is_some() && rendered.bench.is_none() {
+        eprintln!("td exp render: --bench needs the perf experiment in the selection");
+        return 2;
+    }
+    if !rendered.plots.is_empty() {
+        if let Err(e) = std::fs::create_dir_all(&plots_dir) {
+            eprintln!("td exp render: cannot create {plots_dir}: {e}");
+            return 1;
+        }
+    }
+    for (name, svg) in &rendered.plots {
+        let path = std::path::Path::new(&plots_dir).join(name);
+        if let Err(e) = std::fs::write(&path, svg) {
+            eprintln!("td exp render: cannot write {}: {e}", path.display());
+            return 1;
+        }
+        println!("plot:    {}", path.display());
+    }
+    if let (Some(path), Some(bench)) = (&bench_path, &rendered.bench) {
+        if let Err(e) = std::fs::write(path, bench) {
+            eprintln!("td exp render: cannot write {path}: {e}");
+            return 1;
+        }
+        println!("bench:   {path} ({} schema)", td_bench::perf::SCHEMA);
+    }
+    if let Some(path) = &md_path {
+        let mut text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("td exp render: cannot read {path}: {e}");
+                return 1;
+            }
+        };
+        for (id, block) in &rendered.tables {
+            text = match exp::splice_generated(&text, id, block) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("td exp render: {path}: {e}");
+                    return 1;
+                }
+            };
+        }
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("td exp render: cannot write {path}: {e}");
+            return 1;
+        }
+        println!(
+            "tables:  {} section(s) spliced into {path}",
+            rendered.tables.len()
+        );
+    } else {
+        println!(
+            "tables:  {} section(s) rendered (pass --experiments-md FILE to splice them)",
+            rendered.tables.len()
+        );
     }
     0
 }

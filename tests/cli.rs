@@ -414,7 +414,14 @@ fn perf_writes_versioned_json_report() {
     let json = std::fs::read_to_string(&out_path).expect("report written");
     std::fs::remove_file(&out_path).ok();
     assert!(json.contains("\"schema\":\"td-perf/v1\""), "{json}");
-    assert!(json.contains("\"bench\":6"), "{json}");
+    assert!(json.contains("\"bench\":10"), "{json}");
+    assert!(json.contains("\"repeat\":2"), "{json}");
+    assert!(
+        json.contains(
+            "\"executors\":[\"sequential\",\"parallel(2)\",\"sharded(2,2)\",\"sharded(1,1)\"]"
+        ),
+        "{json}"
+    );
     assert!(json.contains("\"sparse_skips\""), "{json}");
     assert!(json.contains("\"executor\":\"sharded(1,1)\""), "{json}");
     assert!(json.contains("\"executor\":\"parallel(2)\""), "{json}");
@@ -867,4 +874,142 @@ fn serve_rejects_overflowing_tick_schedule() {
     assert_eq!(out.status.code(), Some(2));
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("exceeds the supported maximum"), "{err}");
+}
+
+// ------------------------------------------------------------------ td exp ---
+
+#[test]
+fn exp_list_shows_the_registry() {
+    // Bare `td exp` and `td exp --list` are the same listing.
+    for args in [&["exp"][..], &["exp", "--list"][..]] {
+        let (out, err, ok) = run_td(args, None);
+        assert!(ok, "{err}");
+        for id in ["e15", "e16", "e17", "e18", "e19", "e21", "perf"] {
+            assert!(out.contains(id), "listing misses {id}:\n{out}");
+        }
+        assert!(out.contains("td exp run"), "{out}");
+        assert!(out.contains("td exp render"), "{out}");
+    }
+    // Trailing arguments after --list are usage errors.
+    let out = Command::new(BIN)
+        .args(["exp", "--list", "extra"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn exp_run_caches_rerenders_and_selects_subsets() {
+    let base = std::env::temp_dir().join(format!("td-exp-cli-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let results = base.join("results");
+    let plots = base.join("plots");
+    let r = results.to_str().unwrap();
+    let p = plots.to_str().unwrap();
+
+    // Kick-tires subset selection: running only e21 must record only e21.
+    let (out, err, ok) = run_td(&["exp", "run", "e21", "--quick", "--results", r], None);
+    assert!(ok, "{err}");
+    assert!(out.contains("hits: 0"), "{out}");
+    assert!(
+        !out.contains("misses: 0"),
+        "cold run cannot be all hits:\n{out}"
+    );
+    let manifest = std::fs::read_to_string(results.join("manifest.json")).expect("manifest");
+    assert!(manifest.contains("\"experiments\":[\"e21\"]"), "{manifest}");
+    assert!(!manifest.contains("\"exp\":\"e17\""), "{manifest}");
+
+    // Warm rerun executes zero configurations — and flag order does not
+    // matter (ids after flags parse the same).
+    let (out, err, ok) = run_td(&["exp", "run", "--quick", "e21", "--results", r], None);
+    assert!(ok, "{err}");
+    assert!(out.contains("misses: 0"), "{out}");
+
+    // Render from the warm cache writes the e21 plot.
+    let (out, err, ok) = run_td(
+        &[
+            "exp",
+            "render",
+            "e21",
+            "--quick",
+            "--results",
+            r,
+            "--plots",
+            p,
+        ],
+        None,
+    );
+    assert!(ok, "{err}");
+    assert!(out.contains("plot:"), "{out}");
+    assert!(plots.join("race.svg").is_file());
+
+    // --bench without the perf experiment in the selection is a usage error.
+    let out = Command::new(BIN)
+        .args([
+            "exp",
+            "render",
+            "e21",
+            "--quick",
+            "--results",
+            r,
+            "--bench",
+            base.join("bench.json").to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("perf"), "{err}");
+
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+#[test]
+fn exp_usage_errors_exit_2() {
+    // Unknown experiment ids, garbage flags, unknown actions, and bad flag
+    // values are all usage errors (exit 2), diagnosed before any cache I/O.
+    for bad in [
+        &["exp", "run", "e99"][..],
+        &["exp", "run", "--nonsense"][..],
+        &["exp", "render", "no-such-exp"][..],
+        &["exp", "frobnicate"][..],
+        &["exp", "render", "e17", "--plots"][..],
+        &["exp", "run", "e17", "--repeat", "0"][..],
+        &["exp", "run", "e17", "--results"][..],
+    ] {
+        let out = Command::new(BIN).args(bad).output().unwrap();
+        assert_eq!(out.status.code(), Some(2), "args {bad:?}");
+    }
+    // The unknown-id diagnostic names the known ids.
+    let out = Command::new(BIN)
+        .args(["exp", "run", "e99"])
+        .output()
+        .unwrap();
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown experiment"), "{err}");
+    assert!(err.contains("e17"), "{err}");
+}
+
+#[test]
+fn exp_unwritable_results_dir_exits_1() {
+    // A results path under a regular file cannot be created: runtime error,
+    // exit 1 (distinct from the usage-error exit 2).
+    let blocker = std::env::temp_dir().join(format!("td-exp-blocker-{}", std::process::id()));
+    std::fs::write(&blocker, "not a directory").unwrap();
+    let results = blocker.join("sub");
+    let out = Command::new(BIN)
+        .args([
+            "exp",
+            "run",
+            "e17",
+            "--quick",
+            "--results",
+            results.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("cannot create"), "{err}");
+    let _ = std::fs::remove_file(&blocker);
 }

@@ -168,6 +168,89 @@ fn compare_golden_is_executor_independent() {
     );
 }
 
+/// One rendered `td exp` markdown table (e17) and one rendered SVG plot
+/// (e21's race chart), produced from a warm quick-mode cache, pinned as
+/// golden snapshots. Everything upstream is deterministic — workload
+/// generation, protocol execution, integer-math plot layout — so the
+/// rendered artifacts must reproduce byte-identically on every machine,
+/// and a second render over the same cache must match the first exactly.
+#[test]
+fn exp_render_matches_its_golden_snapshots() {
+    use td_bench::exp;
+
+    let update = std::env::var_os("UPDATE_GOLDEN").is_some();
+    let dir = golden_dir();
+    let results = std::env::temp_dir().join(format!("td-exp-golden-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&results);
+
+    let cfg = exp::ExpConfig::quick();
+    let ids: Vec<String> = vec!["e17".into(), "e21".into()];
+    exp::run(&cfg, &ids, &results, false).expect("exp run at quick size");
+    let rendered = exp::render(&cfg, &ids, &results).expect("exp render from warm cache");
+
+    let table = rendered
+        .tables
+        .iter()
+        .find(|(id, _)| id == "e17")
+        .map(|(_, block)| block.clone())
+        .expect("e17 renders a table");
+    let plot = rendered
+        .plots
+        .iter()
+        .find(|(name, _)| name == "race.svg")
+        .map(|(_, svg)| svg.clone())
+        .expect("e21 renders race.svg");
+
+    // Render is a pure function of the cache: a second pass must be
+    // byte-identical.
+    let again = exp::render(&cfg, &ids, &results).expect("second render");
+    assert_eq!(
+        rendered.tables, again.tables,
+        "exp tables drift across renders of the same cache"
+    );
+    assert_eq!(
+        rendered.plots, again.plots,
+        "exp plots drift across renders of the same cache"
+    );
+    let _ = std::fs::remove_dir_all(&results);
+
+    let mut failures = Vec::new();
+    for (name, actual) in [
+        ("exp-e17-table.golden", table),
+        ("exp-e21-race.svg.golden", plot),
+    ] {
+        let path = dir.join(name);
+        if update {
+            std::fs::create_dir_all(&dir).expect("create tests/golden");
+            std::fs::write(&path, &actual).expect("write golden");
+            continue;
+        }
+        let expected = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(_) => {
+                failures.push(format!(
+                    "{name}: no golden at {path:?} — run UPDATE_GOLDEN=1 cargo test --test golden_reports"
+                ));
+                continue;
+            }
+        };
+        if expected != actual {
+            failures.push(format!(
+                "{name} drifted from {path:?} (-expected +actual):\n{}",
+                render_diff(&expected, &actual)
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} exp artifact(s) drifted:\n\n{}\n\
+         If the change is intentional, bless it with \
+         UPDATE_GOLDEN=1 cargo test --test golden_reports",
+        failures.len(),
+        failures.join("\n")
+    );
+}
+
 /// The snapshots themselves must be executor-independent: the golden run
 /// reproduces bit-identically on the sharded executor.
 #[test]
